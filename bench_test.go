@@ -1,0 +1,311 @@
+package tsnoop
+
+// The benchmark harness: one testing.B benchmark per table and figure in
+// the paper's evaluation, plus the DESIGN.md ablations and a few
+// micro-benchmarks of the core data structures. Each figure benchmark
+// reports the paper's headline metrics via b.ReportMetric:
+//
+//	go test -bench=Figure3 -benchmem .
+//
+// The figure benchmarks run at a reduced workload scale so one iteration
+// stays in seconds; pass -benchtime=1x to run each exactly once.
+
+import (
+	"testing"
+
+	"tsnoop/internal/cache"
+	"tsnoop/internal/coherence"
+	"tsnoop/internal/harness"
+	"tsnoop/internal/sim"
+	"tsnoop/internal/stats"
+	"tsnoop/internal/system"
+	"tsnoop/internal/topology"
+	"tsnoop/internal/tsnet"
+	"tsnoop/internal/workload"
+)
+
+// benchExperiment is the reduced-scale setup used by the figure benches.
+func benchExperiment() harness.Experiment {
+	e := harness.Default()
+	e.Seeds = 1
+	e.QuotaScale = 0.2
+	e.WarmupScale = 0.5
+	return e
+}
+
+func benchFigure3(b *testing.B, network string) {
+	e := benchExperiment()
+	for i := 0; i < b.N; i++ {
+		g, err := e.RunGrid(network)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := g.SpeedupRange(system.ProtoDirClassic)
+		lo2, hi2 := g.SpeedupRange(system.ProtoDirOpt)
+		b.ReportMetric(lo*100, "minSpeedupClassic_%")
+		b.ReportMetric(hi*100, "maxSpeedupClassic_%")
+		b.ReportMetric(lo2*100, "minSpeedupOpt_%")
+		b.ReportMetric(hi2*100, "maxSpeedupOpt_%")
+	}
+}
+
+// BenchmarkFigure3Butterfly regenerates Figure 3 (left): normalized
+// runtimes on the butterfly. Paper: TS-Snoop 10-28% faster than
+// DirClassic, 6-28% faster than DirOpt.
+func BenchmarkFigure3Butterfly(b *testing.B) { benchFigure3(b, system.NetButterfly) }
+
+// BenchmarkFigure3Torus regenerates Figure 3 (right): normalized runtimes
+// on the torus. Paper: 15-29% and 6-23% faster.
+func BenchmarkFigure3Torus(b *testing.B) { benchFigure3(b, system.NetTorus) }
+
+func benchFigure4(b *testing.B, network string) {
+	e := benchExperiment()
+	for i := 0; i < b.N; i++ {
+		g, err := e.RunGrid(network)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := g.ExtraTrafficRange(system.ProtoDirOpt)
+		b.ReportMetric(lo*100, "minExtraTraffic_%")
+		b.ReportMetric(hi*100, "maxExtraTraffic_%")
+	}
+}
+
+// BenchmarkFigure4Butterfly regenerates Figure 4 (left): link traffic on
+// the butterfly. Paper: TS-Snoop uses 13-43% more link bandwidth.
+func BenchmarkFigure4Butterfly(b *testing.B) { benchFigure4(b, system.NetButterfly) }
+
+// BenchmarkFigure4Torus regenerates Figure 4 (right). Paper: 17-37% more.
+func BenchmarkFigure4Torus(b *testing.B) { benchFigure4(b, system.NetTorus) }
+
+// BenchmarkTable2Butterfly regenerates Table 2's butterfly rows by
+// measuring unloaded miss latencies (178/123/252 ns).
+func BenchmarkTable2Butterfly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Table2(system.NetButterfly)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].Measured.Nanoseconds(), "memMiss_ns")
+		b.ReportMetric(rows[2].Measured.Nanoseconds(), "tsC2C_ns")
+		b.ReportMetric(rows[3].Measured.Nanoseconds(), "dir3hop_ns")
+	}
+}
+
+// BenchmarkTable2Torus regenerates Table 2's torus rows (means 148/93/207
+// ns; the TS row includes ordering delay).
+func BenchmarkTable2Torus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Table2(system.NetTorus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].Measured.Nanoseconds(), "memMiss_ns")
+		b.ReportMetric(rows[2].Measured.Nanoseconds(), "tsC2C_ns")
+		b.ReportMetric(rows[3].Measured.Nanoseconds(), "dir3hop_ns")
+	}
+}
+
+// BenchmarkTable3 regenerates the benchmark-characteristics table,
+// reporting the measured cache-to-cache fractions (paper: 43/60/40/40/43).
+func BenchmarkTable3(b *testing.B) {
+	e := benchExperiment()
+	e.QuotaScale = 0.4
+	for i := 0; i < b.N; i++ {
+		rows, err := e.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.ThreeHopPct, r.Benchmark+"_3hop_%")
+		}
+	}
+}
+
+// BenchmarkEnvelope computes the Section 5 bandwidth bounds (384 vs 240
+// bytes per miss; 60% / 33% extra-bandwidth limits).
+func BenchmarkEnvelope(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row, err := harness.Envelope(system.NetButterfly, 16, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(row.TSBytes), "tsBytesPerMiss")
+		b.ReportMetric(row.ExtraBoundPc, "extraBound_%")
+	}
+}
+
+// benchAblation measures one TS-Snoop design knob against the baseline on
+// the torus (where ordering delay makes the knobs visible).
+func benchAblation(b *testing.B, mutate func(*system.Config)) {
+	e := benchExperiment()
+	for i := 0; i < b.N; i++ {
+		gen := workload.ByName("barnes", 16)
+		cfg := system.DefaultConfig(system.ProtoTSSnoop, system.NetTorus)
+		cfg.WarmupPerCPU = 1000
+		cfg.MeasurePerCPU = 1000
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		s, err := system.Build(cfg, gen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := s.Execute()
+		b.ReportMetric(float64(run.Runtime)/1000, "simRuntime_ns")
+		b.ReportMetric(float64(run.MissLatency.Mean())/1000, "missLatency_ns")
+	}
+	_ = e
+}
+
+// BenchmarkAblationBaseline is the reference point for the ablations.
+func BenchmarkAblationBaseline(b *testing.B) { benchAblation(b, nil) }
+
+// BenchmarkAblationSlack0 sets the initial slack S to zero.
+func BenchmarkAblationSlack0(b *testing.B) {
+	benchAblation(b, func(c *system.Config) { c.InitialSlack = 0 })
+}
+
+// BenchmarkAblationSlack4 sets the initial slack S to four.
+func BenchmarkAblationSlack4(b *testing.B) {
+	benchAblation(b, func(c *system.Config) { c.InitialSlack = 4 })
+}
+
+// BenchmarkAblationNoPrefetch disables optimization 1.
+func BenchmarkAblationNoPrefetch(b *testing.B) {
+	benchAblation(b, func(c *system.Config) { c.Prefetch = false })
+}
+
+// BenchmarkAblationEarlyProcessing enables optimization 2.
+func BenchmarkAblationEarlyProcessing(b *testing.B) {
+	benchAblation(b, func(c *system.Config) { c.EarlyProcessing = true })
+}
+
+// BenchmarkAblationTokens2 doubles the tokens per input port.
+func BenchmarkAblationTokens2(b *testing.B) {
+	benchAblation(b, func(c *system.Config) { c.TokensPerPort = 2 })
+}
+
+// BenchmarkAblationContention enables switch output-port contention
+// modelling (the paper's evaluation is uncontended).
+func BenchmarkAblationContention(b *testing.B) {
+	benchAblation(b, func(c *system.Config) { c.Contention = true })
+}
+
+// BenchmarkAblationMOSI upgrades TS-Snoop to MOSI: the Owned state
+// eliminates the owner-to-memory writeback on every sharing miss.
+func BenchmarkAblationMOSI(b *testing.B) {
+	benchAblation(b, func(c *system.Config) { c.UseOwnedState = true })
+}
+
+// BenchmarkAblationMulticast enables simplified multicast snooping:
+// GETS goes to a predicted destination set instead of a full broadcast,
+// cutting address traffic (the paper's first future-work direction).
+func BenchmarkAblationMulticast(b *testing.B) {
+	benchAblation(b, func(c *system.Config) { c.Multicast = true })
+}
+
+// BenchmarkAblationMulticastMOSI combines both extensions.
+func BenchmarkAblationMulticastMOSI(b *testing.B) {
+	benchAblation(b, func(c *system.Config) { c.Multicast = true; c.UseOwnedState = true })
+}
+
+// BenchmarkSweepNodes runs the machine-size sensitivity sweep.
+func BenchmarkSweepNodes(b *testing.B) {
+	e := benchExperiment()
+	e.QuotaScale = 0.1
+	for i := 0; i < b.N; i++ {
+		if _, err := e.NodesSweep("barnes"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepBlockSize runs the block-size sensitivity sweep.
+func BenchmarkSweepBlockSize(b *testing.B) {
+	e := benchExperiment()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.BlockSizeSweep("barnes"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the core machinery ---
+
+// BenchmarkKernelEvents measures raw event dispatch throughput.
+func BenchmarkKernelEvents(b *testing.B) {
+	k := sim.NewKernel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.After(1, func() {})
+		k.Step()
+	}
+}
+
+// BenchmarkTsnetBroadcast measures one ordered broadcast end to end on the
+// butterfly (21 link deliveries, 16 reorder insertions, ordering).
+func BenchmarkTsnetBroadcast(b *testing.B) {
+	topo := topology.MustButterfly(4)
+	k := sim.NewKernel()
+	run := &stats.Run{}
+	cfg := tsnet.DefaultConfig()
+	cfg.Verify = false
+	net := tsnet.New(k, topo, cfg, &run.Traffic, run)
+	delivered := 0
+	for ep := 0; ep < 16; ep++ {
+		net.Register(ep, func(int, uint64, any, sim.Time) { delivered++ }, nil)
+	}
+	net.Start()
+	k.RunUntil(100 * sim.Nanosecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		want := delivered + 16
+		net.Inject(i%16, nil)
+		k.RunWhile(func() bool { return delivered < want })
+	}
+}
+
+// BenchmarkCacheOps measures L2 lookup+insert cost.
+func BenchmarkCacheOps(b *testing.B) {
+	c := cache.MustNew(cache.DefaultConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		blk := coherence.Block(i % 100000)
+		if s, _ := c.Lookup(blk); s == cache.Invalid {
+			c.Insert(blk, cache.Shared, 0)
+		}
+	}
+}
+
+// BenchmarkTSSnoopMiss measures a full timestamp-snooping miss
+// (broadcast, ordering, memory access, data return) on the butterfly.
+func BenchmarkTSSnoopMiss(b *testing.B) {
+	benchProtocolMiss(b, system.ProtoTSSnoop)
+}
+
+// BenchmarkDirectoryMiss measures a full directory miss for comparison.
+func BenchmarkDirectoryMiss(b *testing.B) {
+	benchProtocolMiss(b, system.ProtoDirOpt)
+}
+
+func benchProtocolMiss(b *testing.B, proto string) {
+	cfg := system.DefaultConfig(proto, system.NetButterfly)
+	cfg.WarmupPerCPU = 1
+	cfg.MeasurePerCPU = 1
+	gen := workload.Uniform(1<<20, 0.0, 10, 16)
+	s, err := system.Build(cfg, gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Execute()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		blk := coherence.Block(1<<22 + i)
+		s.Proto.Access(i%16, coherence.Load, blk, func(coherence.AccessResult) { done = true })
+		s.K.RunWhile(func() bool { return !done })
+	}
+}

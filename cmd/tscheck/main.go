@@ -1,0 +1,173 @@
+// Command tscheck is a randomized stress checker for the coherence
+// protocols: it drives concurrent random access mixes through every
+// protocol x network combination, with the runtime coherence oracle armed
+// and response perturbation enabled, then verifies quiescence invariants
+// (single-writer/multiple-reader, memory/directory agreement with cache
+// states). Any violation aborts with a diagnostic.
+//
+//	tscheck -seeds 20 -ops 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tsnoop/internal/cache"
+	"tsnoop/internal/coherence"
+	"tsnoop/internal/protocol/directory"
+	"tsnoop/internal/protocol/tssnoop"
+	"tsnoop/internal/sim"
+	"tsnoop/internal/system"
+	"tsnoop/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tscheck: ")
+	var (
+		seeds   = flag.Int("seeds", 10, "random seeds per combination")
+		ops     = flag.Int("ops", 150, "accesses per processor per run")
+		blocks  = flag.Int("blocks", 8, "hot-block pool size (smaller = more contention)")
+		perturb = flag.Int64("perturb-ns", 3, "max response perturbation in ns")
+	)
+	flag.Parse()
+
+	combos := []struct {
+		protocol  string
+		network   string
+		mosi      bool
+		multicast bool
+	}{
+		{system.ProtoTSSnoop, system.NetButterfly, false, false},
+		{system.ProtoTSSnoop, system.NetTorus, false, false},
+		{system.ProtoTSSnoop, system.NetButterfly, true, false},
+		{system.ProtoTSSnoop, system.NetTorus, true, false},
+		{system.ProtoTSSnoop, system.NetButterfly, false, true},
+		{system.ProtoTSSnoop, system.NetTorus, true, true},
+		{system.ProtoDirClassic, system.NetButterfly, false, false},
+		{system.ProtoDirClassic, system.NetTorus, false, false},
+		{system.ProtoDirOpt, system.NetButterfly, false, false},
+		{system.ProtoDirOpt, system.NetTorus, false, false},
+	}
+	total := 0
+	for _, c := range combos {
+		for seed := 1; seed <= *seeds; seed++ {
+			name := fmt.Sprintf("%s/%s/mosi=%v/mcast=%v/seed=%d", c.protocol, c.network, c.mosi, c.multicast, seed)
+			if err := stress(c.protocol, c.network, c.mosi, c.multicast, uint64(seed), *ops, *blocks, *perturb); err != nil {
+				log.Printf("FAIL %s: %v", name, err)
+				os.Exit(1)
+			}
+			total++
+		}
+	}
+	fmt.Printf("tscheck: %d stress runs passed (%d combos x %d seeds, %d ops/cpu, %d hot blocks)\n",
+		total, len(combos), *seeds, *ops, *blocks)
+}
+
+func stress(protocol, network string, mosi, multicast bool, seed uint64, ops, blocks int, perturbNS int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	cfg := system.DefaultConfig(protocol, network)
+	cfg.Seed = seed
+	cfg.UseOwnedState = mosi
+	cfg.Multicast = multicast
+	cfg.PredictorSize = 4 // small: exercise the audit-retry path
+	cfg.PerturbMax = sim.Duration(perturbNS) * sim.Nanosecond
+	s, buildErr := system.Build(cfg, workload.Uniform(1024, 0.5, 10, cfg.Nodes))
+	if buildErr != nil {
+		return buildErr
+	}
+
+	rng := sim.NewRand(seed * 7919)
+	remaining := make([]int, cfg.Nodes)
+	for i := range remaining {
+		remaining[i] = ops
+	}
+	left := cfg.Nodes * ops
+	var issue func(nd int)
+	issue = func(nd int) {
+		if remaining[nd] == 0 {
+			return
+		}
+		remaining[nd]--
+		b := coherence.Block(rng.Intn(blocks))
+		op := coherence.Load
+		if rng.Bool(0.5) {
+			op = coherence.Store
+		}
+		s.Proto.Access(nd, op, b, func(coherence.AccessResult) {
+			left--
+			issue(nd)
+		})
+	}
+	for nd := 0; nd < cfg.Nodes; nd++ {
+		issue(nd)
+	}
+	s.K.RunWhile(func() bool { return left > 0 })
+	s.K.RunUntil(s.K.Now() + 5*sim.Microsecond) // drain writebacks
+	if s.Proto.Pending() != 0 {
+		return fmt.Errorf("%d accesses still pending after drain", s.Proto.Pending())
+	}
+	return verifyQuiescence(s, blocks, mosi)
+}
+
+// verifyQuiescence checks SWMR and controller agreement once traffic has
+// drained.
+func verifyQuiescence(s *system.System, blocks int, mosi bool) error {
+	for b := coherence.Block(0); b < coherence.Block(blocks); b++ {
+		var mCount, oCount, sCount int
+		dirty := -1
+		for nd := 0; nd < s.Cfg.Nodes; nd++ {
+			var st cache.State
+			switch p := s.Proto.(type) {
+			case *tssnoop.Protocol:
+				st = p.CacheState(nd, b)
+			case *directory.Protocol:
+				st = p.CacheState(nd, b)
+			}
+			switch st {
+			case cache.Modified:
+				mCount++
+				dirty = nd
+			case cache.Owned:
+				oCount++
+				dirty = nd
+			case cache.Shared:
+				sCount++
+			}
+		}
+		if mCount+oCount > 1 {
+			return fmt.Errorf("block %d: %d dirty copies", b, mCount+oCount)
+		}
+		if mCount == 1 && sCount+oCount > 0 {
+			return fmt.Errorf("block %d: M coexists with %d S / %d O", b, sCount, oCount)
+		}
+		if !mosi && oCount > 0 {
+			return fmt.Errorf("block %d: Owned copy under MSI", b)
+		}
+		if p, ok := s.Proto.(*tssnoop.Protocol); ok {
+			owner := p.MemOwner(b)
+			if mCount+oCount == 1 && owner != dirty {
+				return fmt.Errorf("block %d: dirty at %d, memory owner %d", b, dirty, owner)
+			}
+			if mCount+oCount == 0 && owner != -1 {
+				return fmt.Errorf("block %d: clean but memory owner %d", b, owner)
+			}
+		}
+		if p, ok := s.Proto.(*directory.Protocol); ok {
+			st, owner, _ := p.DirectoryState(b)
+			if mCount == 1 && (st != "E" || owner != dirty) {
+				return fmt.Errorf("block %d: M at %d but directory %s/%d", b, dirty, st, owner)
+			}
+			if mCount == 0 && st == "E" {
+				return fmt.Errorf("block %d: directory E/%d with no M copy", b, owner)
+			}
+		}
+	}
+	return nil
+}

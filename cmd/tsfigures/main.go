@@ -1,0 +1,60 @@
+// Command tsfigures regenerates the paper's figures.
+//
+//	tsfigures -figure 3 -network butterfly   # normalized runtimes
+//	tsfigures -figure 4 -network both        # normalized link traffic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tsnoop/internal/harness"
+	"tsnoop/internal/sim"
+	"tsnoop/internal/system"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsfigures: ")
+	var (
+		figure  = flag.Int("figure", 3, "figure number (3 = runtime, 4 = traffic)")
+		network = flag.String("network", "both", "butterfly, torus, or both")
+		seeds   = flag.Int("seeds", 3, "perturbed runs per cell (minimum reported)")
+		scale   = flag.Float64("scale", 1.0, "workload quota scale factor")
+		perturb = flag.Int64("perturb-ns", 3, "max response perturbation in ns")
+	)
+	flag.Parse()
+
+	nets := []string{*network}
+	if *network == "both" {
+		nets = []string{system.NetButterfly, system.NetTorus}
+	}
+	e := harness.Default()
+	e.Seeds = *seeds
+	e.QuotaScale = *scale
+	e.PerturbMax = sim.Duration(*perturb) * sim.Nanosecond
+
+	for _, net := range nets {
+		grid, err := e.RunGrid(net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch *figure {
+		case 3:
+			fmt.Println(grid.Figure3())
+			lo, hi := grid.SpeedupRange(system.ProtoDirClassic)
+			lo2, hi2 := grid.SpeedupRange(system.ProtoDirOpt)
+			fmt.Printf("TS-Snoop runs %.0f-%.0f%% faster than DirClassic and %.0f-%.0f%% faster than DirOpt.\n\n",
+				lo*100, hi*100, lo2*100, hi2*100)
+		case 4:
+			fmt.Println(grid.Figure4())
+			lo, hi := grid.ExtraTrafficRange(system.ProtoDirClassic)
+			lo2, hi2 := grid.ExtraTrafficRange(system.ProtoDirOpt)
+			fmt.Printf("TS-Snoop uses %.0f-%.0f%% more link bandwidth than DirClassic and %.0f-%.0f%% more than DirOpt.\n\n",
+				lo*100, hi*100, lo2*100, hi2*100)
+		default:
+			log.Fatalf("unknown figure %d (have 3 and 4)", *figure)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command tsrun executes a single benchmark x protocol x network
+// simulation and prints its statistics.
+//
+// Usage:
+//
+//	tsrun -benchmark OLTP -protocol TS-Snoop -network butterfly
+//	tsrun -benchmark DSS -protocol DirClassic -network torus -quota 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"tsnoop/internal/core"
+	"tsnoop/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsrun: ")
+	var (
+		benchmark = flag.String("benchmark", "OLTP", "workload: "+strings.Join(core.Benchmarks(), ", "))
+		protocol  = flag.String("protocol", core.TSSnoop, "protocol: "+strings.Join(core.Protocols(), ", "))
+		network   = flag.String("network", core.Butterfly, "network: "+strings.Join(core.Networks(), ", "))
+		nodes     = flag.Int("nodes", 16, "processor count")
+		quota     = flag.Int("quota", 0, "measured memory operations per processor (0 = benchmark default)")
+		warmup    = flag.Int("warmup", 0, "warm-up memory operations per processor (0 = default)")
+		seed      = flag.Uint64("seed", 1, "workload random seed")
+		perturb   = flag.Int64("perturb-ns", 0, "max response perturbation in ns")
+		early     = flag.Bool("early-processing", false, "enable optimization 2 (TS-Snoop)")
+		noPref    = flag.Bool("no-prefetch", false, "disable optimization 1 (TS-Snoop)")
+		slack     = flag.Int("slack", 1, "initial slack S (TS-Snoop)")
+		mosi      = flag.Bool("mosi", false, "use the Owned state (MOSI extension, TS-Snoop)")
+		multicast = flag.Bool("multicast", false, "multicast snooping for GETS (TS-Snoop)")
+		predSize  = flag.Int("predictor", 0, "multicast predictor entries (0 unbounded, <0 disabled)")
+	)
+	flag.Parse()
+
+	run, err := core.RunBenchmark(*benchmark, *protocol, *network, func(c *core.Config) {
+		c.Nodes = *nodes
+		if *quota > 0 {
+			c.MeasurePerCPU = *quota
+		}
+		if *warmup > 0 {
+			c.WarmupPerCPU = *warmup
+		}
+		c.Seed = *seed
+		c.PerturbMax = sim.Duration(*perturb) * sim.Nanosecond
+		c.EarlyProcessing = *early
+		c.Prefetch = !*noPref
+		c.InitialSlack = *slack
+		c.UseOwnedState = *mosi
+		c.Multicast = *multicast
+		c.PredictorSize = *predSize
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s / %s / %s (%d nodes)\n", *benchmark, *protocol, *network, *nodes)
+	fmt.Print(run.Summary())
+}

@@ -1,0 +1,50 @@
+// Command tssweep runs the sensitivity sweeps and design ablations.
+//
+//	tssweep -sweep nodes                   # 4/16/64-node butterfly scaling
+//	tssweep -sweep blocksize               # 64B vs 128B blocks
+//	tssweep -sweep envelope                # Section 5 analytic bandwidth bounds
+//	tssweep -sweep ablation -network torus # TS-Snoop design-knob ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tsnoop/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tssweep: ")
+	var (
+		sweep     = flag.String("sweep", "envelope", "nodes, blocksize, envelope, or ablation")
+		benchmark = flag.String("benchmark", "barnes", "workload for measured sweeps")
+		network   = flag.String("network", "butterfly", "network for the ablation sweep")
+		scale     = flag.Float64("scale", 0.5, "workload quota scale factor")
+	)
+	flag.Parse()
+
+	e := harness.Default()
+	e.Seeds = 1
+	e.QuotaScale = *scale
+
+	var out string
+	var err error
+	switch *sweep {
+	case "nodes":
+		out, err = e.NodesSweep(*benchmark)
+	case "blocksize":
+		out, err = e.BlockSizeSweep(*benchmark)
+	case "envelope":
+		out, err = harness.RenderEnvelope()
+	case "ablation":
+		out, err = e.AblationReport(*benchmark, *network)
+	default:
+		log.Fatalf("unknown sweep %q", *sweep)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,42 @@
+// Command tstables regenerates the paper's tables.
+//
+//	tstables -table 2   # unloaded latencies (Table 2), analytic vs measured
+//	tstables -table 3   # benchmark characteristics (Table 3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tsnoop/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tstables: ")
+	var (
+		table = flag.Int("table", 2, "table number to regenerate (2 or 3)")
+		scale = flag.Float64("scale", 1.0, "workload quota scale factor")
+	)
+	flag.Parse()
+
+	switch *table {
+	case 2:
+		out, err := harness.RenderTable2()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+	case 3:
+		e := harness.Default()
+		e.QuotaScale = *scale
+		out, err := e.RenderTable3()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+	default:
+		log.Fatalf("unknown table %d (have 2 and 3)", *table)
+	}
+}

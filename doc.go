@@ -1,0 +1,11 @@
+// Package tsnoop reproduces "Timestamp Snooping: An Approach for Extending
+// SMPs" (Martin et al., ASPLOS 2000): a discrete-event simulation of MOESI
+// snooping over logically ordered switched networks, two directory
+// baselines, the paper's five commercial workloads as synthetic reference
+// streams, and a harness that regenerates every table and figure in the
+// paper's evaluation.
+//
+// The public entry point is internal/core; the executables live under
+// cmd/ and runnable examples under examples/. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package tsnoop

@@ -1,0 +1,80 @@
+// Token walkthrough: narrates Figure 1's token-passing example by hand,
+// then demonstrates the same machinery live on a real timestamp-snooping
+// network in contention mode.
+//
+// Figure 1 shows a simplified 2x2 switch handling one message with the
+// three slack-recurrence cases: +dGT when the message moves past waiting
+// tokens on entry, -1 when the switch propagates a token past the buffered
+// message, and +dD on the shorter branch of an unbalanced broadcast.
+package main
+
+import (
+	"fmt"
+
+	"tsnoop/internal/sim"
+	"tsnoop/internal/stats"
+	"tsnoop/internal/topology"
+	"tsnoop/internal/tsnet"
+)
+
+func walkFigure1() {
+	fmt.Println("=== Figure 1, step by step (S_new = S_old + dGT + dD) ===")
+	slack := 1
+	fmt.Printf("(a) msg arrives with slack %d; input port holds 1 waiting token\n", slack)
+	dGT := 1 // the message moves past the waiting token
+	slack += dGT
+	fmt.Printf("(b) contention buffers the msg; it moves past the token: slack %d (dGT=+1)\n", slack)
+	fmt.Println("(c) tokens arrive on both inputs; the switch increments its counters")
+	slack-- // the issued token moves past the buffered message
+	fmt.Printf("(d) the switch propagates a token on each output; it moves past the buffered msg: slack %d (dGT=-1)\n", slack)
+	top, bottom := slack+1, slack+0
+	fmt.Printf("(e) the msg departs: top branch is 1 hop shorter (dD=+1) -> slack %d; bottom continues the longest path (dD=0) -> slack %d\n",
+		top, bottom)
+	fmt.Println("The ordering time is invariant throughout: OT = GT + remaining-depth + slack.")
+}
+
+func walkLive() {
+	fmt.Println("\n=== The same machinery live: contended 4x4 torus ===")
+	topo := topology.MustTorus(4, 4)
+	k := sim.NewKernel()
+	run := &stats.Run{}
+	cfg := tsnet.DefaultConfig()
+	cfg.Contention = true // exercise buffering, token passing, stalls
+	cfg.InitialSlack = 1
+	net := tsnet.New(k, topo, cfg, &run.Traffic, run)
+
+	processed := make([][]int, topo.Nodes())
+	for ep := 0; ep < topo.Nodes(); ep++ {
+		ep := ep
+		net.Register(ep, func(src int, seq uint64, payload any, arrived sim.Time) {
+			processed[ep] = append(processed[ep], src)
+		}, nil)
+	}
+	net.Start()
+	k.RunUntil(100 * sim.Nanosecond)
+
+	// Burst: four sources broadcast at the same instant, forcing output
+	// contention inside the broadcast trees.
+	for _, src := range []int{0, 5, 10, 15} {
+		net.Inject(src, nil)
+	}
+	k.RunUntil(600 * sim.Nanosecond)
+
+	fmt.Printf("4 simultaneous broadcasts, delivered to all %d endpoints\n", topo.Nodes())
+	fmt.Printf("every endpoint processed them in the identical total order: %v\n", processed[0])
+	for ep := 1; ep < topo.Nodes(); ep++ {
+		for i := range processed[0] {
+			if processed[ep][i] != processed[0][i] {
+				panic("order disagreement — the slack recurrence is broken")
+			}
+		}
+	}
+	fmt.Printf("mean ordering delay at the endpoints: %v (max %v)\n",
+		run.OrderingDelay.Mean(), run.OrderingDelay.Max())
+	fmt.Printf("peak reorder-queue occupancy: %d entries\n", run.ReorderOccupancy.Max())
+}
+
+func main() {
+	walkFigure1()
+	walkLive()
+}

@@ -1,0 +1,142 @@
+// Package coherence defines the vocabulary shared by every cache
+// coherence protocol in this repository — processor operations, block
+// addresses, transaction kinds, home mapping — plus the runtime coherence
+// checker (Oracle) used by the test suites.
+package coherence
+
+import (
+	"fmt"
+
+	"tsnoop/internal/sim"
+	"tsnoop/internal/stats"
+)
+
+// Op is a processor memory operation.
+type Op int
+
+// Operations.
+const (
+	Load Op = iota
+	Store
+)
+
+func (o Op) String() string {
+	if o == Load {
+		return "load"
+	}
+	return "store"
+}
+
+// Block is a cache-block address (byte address >> block-offset bits).
+type Block uint64
+
+// TxnKind enumerates coherence transaction kinds. The paper's protocols
+// "support several transactions (e.g., get an S copy, get an M copy,
+// writeback an M copy)".
+type TxnKind int
+
+// Transaction kinds.
+const (
+	GetS TxnKind = iota // get a shared (read) copy
+	GetX                // get an exclusive (writable) copy
+	PutX                // write back an owned copy
+)
+
+func (k TxnKind) String() string {
+	switch k {
+	case GetS:
+		return "GETS"
+	case GetX:
+		return "GETX"
+	case PutX:
+		return "PUTX"
+	default:
+		return fmt.Sprintf("TxnKind(%d)", int(k))
+	}
+}
+
+// HomeOf maps a block to its home memory controller: low-order block
+// interleaving across the n nodes, as in the target system where "each
+// node contains ... a memory controller for part of the globally shared
+// memory".
+func HomeOf(b Block, n int) int { return int(b % Block(n)) }
+
+// AccessResult describes a completed processor memory operation.
+type AccessResult struct {
+	// Hit reports an L2 hit (no coherence transaction).
+	Hit bool
+	// Kind classifies the miss supplier (valid when !Hit).
+	Kind stats.MissKind
+	// Latency is the end-to-end L2 access latency.
+	Latency sim.Time
+	// Version is the block version observed (loads) or created (stores);
+	// consumed by the Oracle.
+	Version uint64
+}
+
+// Protocol is the interface every coherence protocol implements. A
+// Protocol owns its caches, memory controllers and interconnect use; the
+// processor models drive it with Access calls.
+type Protocol interface {
+	// Name identifies the protocol ("TS-Snoop", "DirClassic", "DirOpt").
+	Name() string
+	// Access performs op on block for the processor at node, invoking
+	// done exactly once when the operation completes. Each node issues at
+	// most one Access at a time (blocking processors).
+	Access(node int, op Op, block Block, done func(AccessResult))
+	// Pending reports the number of in-flight operations; the harness
+	// drains to zero before reading final statistics.
+	Pending() int
+}
+
+// Oracle checks coherence at runtime: block versions are assigned in
+// write-serialization order, so the versions each processor observes for a
+// given block must be non-decreasing ("writes to the same location are
+// seen in the same order by everybody"). A violation reports through the
+// Violation callback (tests install t.Fatalf).
+type Oracle struct {
+	nextVersion map[Block]uint64
+	lastSeen    map[oracleKey]uint64
+	// Violation is invoked on a coherence violation; when nil, the Oracle
+	// panics instead.
+	Violation func(cpu int, b Block, saw, last uint64)
+	observes  int64
+}
+
+type oracleKey struct {
+	cpu int
+	b   Block
+}
+
+// NewOracle returns an empty checker.
+func NewOracle() *Oracle {
+	return &Oracle{
+		nextVersion: make(map[Block]uint64),
+		lastSeen:    make(map[oracleKey]uint64),
+	}
+}
+
+// WriteVersion allocates the next version of b, in the order the protocol
+// serializes stores.
+func (o *Oracle) WriteVersion(b Block) uint64 {
+	o.nextVersion[b]++
+	return o.nextVersion[b]
+}
+
+// Observe records that cpu saw version v of block b and checks
+// monotonicity.
+func (o *Oracle) Observe(cpu int, b Block, v uint64) {
+	o.observes++
+	key := oracleKey{cpu, b}
+	if last, ok := o.lastSeen[key]; ok && v < last {
+		if o.Violation != nil {
+			o.Violation(cpu, b, v, last)
+			return
+		}
+		panic(fmt.Sprintf("coherence: cpu %d saw block %x regress from version %d to %d", cpu, b, last, v))
+	}
+	o.lastSeen[key] = v
+}
+
+// Observations returns the number of Observe calls (test sanity checks).
+func (o *Oracle) Observations() int64 { return o.observes }

@@ -1,0 +1,75 @@
+package coherence
+
+import (
+	"testing"
+)
+
+func TestHomeOf(t *testing.T) {
+	for b := Block(0); b < 64; b++ {
+		h := HomeOf(b, 16)
+		if h != int(b%16) {
+			t.Fatalf("HomeOf(%d,16) = %d", b, h)
+		}
+	}
+}
+
+func TestOracleVersionsMonotonic(t *testing.T) {
+	o := NewOracle()
+	if v := o.WriteVersion(1); v != 1 {
+		t.Fatalf("first version = %d", v)
+	}
+	if v := o.WriteVersion(1); v != 2 {
+		t.Fatalf("second version = %d", v)
+	}
+	if v := o.WriteVersion(2); v != 1 {
+		t.Fatalf("other block version = %d", v)
+	}
+	o.Observe(0, 1, 1)
+	o.Observe(0, 1, 2)
+	o.Observe(1, 1, 2) // other cpu
+	if o.Observations() != 3 {
+		t.Fatalf("observations = %d", o.Observations())
+	}
+}
+
+func TestOracleDetectsRegression(t *testing.T) {
+	o := NewOracle()
+	var violated bool
+	o.Violation = func(cpu int, b Block, saw, last uint64) { violated = true }
+	o.WriteVersion(7)
+	o.WriteVersion(7)
+	o.Observe(3, 7, 2)
+	o.Observe(3, 7, 1) // regression
+	if !violated {
+		t.Fatal("regression not reported")
+	}
+}
+
+func TestOracleSameVersionOK(t *testing.T) {
+	o := NewOracle()
+	o.Violation = func(cpu int, b Block, saw, last uint64) {
+		t.Fatal("re-observing the same version must be legal")
+	}
+	o.Observe(0, 5, 3)
+	o.Observe(0, 5, 3)
+}
+
+func TestOraclePanicsWithoutHandler(t *testing.T) {
+	o := NewOracle()
+	o.Observe(0, 1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on regression without handler")
+		}
+	}()
+	o.Observe(0, 1, 4)
+}
+
+func TestStrings(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" {
+		t.Fatal("op strings")
+	}
+	if GetS.String() != "GETS" || GetX.String() != "GETX" || PutX.String() != "PUTX" {
+		t.Fatal("txn strings")
+	}
+}

@@ -1,0 +1,88 @@
+// Package core is the public entry point of the timestamp-snooping
+// library: it ties together the simulation kernel, the topologies, the
+// three coherence protocols, the synthetic commercial workloads, and the
+// experiment harness behind a small configuration surface.
+//
+// Quick start:
+//
+//	res, err := core.RunBenchmark("OLTP", core.TSSnoop, core.Butterfly, nil)
+//	fmt.Println(res.Summary())
+//
+// Reproducing the paper:
+//
+//	grid, _ := core.DefaultExperiment().RunGrid(core.Butterfly)
+//	fmt.Println(grid.Figure3())
+//	fmt.Println(grid.Figure4())
+package core
+
+import (
+	"fmt"
+
+	"tsnoop/internal/harness"
+	"tsnoop/internal/stats"
+	"tsnoop/internal/system"
+	"tsnoop/internal/workload"
+)
+
+// Protocol names.
+const (
+	TSSnoop    = system.ProtoTSSnoop
+	DirClassic = system.ProtoDirClassic
+	DirOpt     = system.ProtoDirOpt
+)
+
+// Network names.
+const (
+	Butterfly = system.NetButterfly
+	Torus     = system.NetTorus
+)
+
+// Config is the machine/run configuration (see system.Config for fields).
+type Config = system.Config
+
+// Experiment is a figure-regeneration configuration (seeds, perturbation,
+// scale; see harness.Experiment).
+type Experiment = harness.Experiment
+
+// Run is the set of statistics one simulation produces.
+type Run = stats.Run
+
+// Benchmarks lists the paper's workload names in presentation order.
+func Benchmarks() []string { return workload.Names() }
+
+// Protocols lists the protocol names in presentation order.
+func Protocols() []string { return append([]string(nil), harness.Protocols...) }
+
+// Networks lists the network names in presentation order.
+func Networks() []string { return append([]string(nil), harness.Networks...) }
+
+// DefaultConfig returns the paper's 16-node machine for a protocol and
+// network.
+func DefaultConfig(protocol, network string) Config {
+	return system.DefaultConfig(protocol, network)
+}
+
+// DefaultExperiment returns the experiment setup used for the figures.
+func DefaultExperiment() Experiment { return harness.Default() }
+
+// RunBenchmark builds and executes one benchmark run. mutate, when
+// non-nil, may adjust the configuration before the machine is built.
+func RunBenchmark(benchmark, protocol, network string, mutate func(*Config)) (*Run, error) {
+	gen := workload.ByName(benchmark, 16)
+	if gen == nil {
+		return nil, fmt.Errorf("core: unknown benchmark %q (have %v)", benchmark, workload.Names())
+	}
+	cfg := system.DefaultConfig(protocol, network)
+	cfg.MeasurePerCPU = workload.MeasureQuota(benchmark)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	if cfg.Nodes != 16 {
+		gen = workload.ByName(benchmark, cfg.Nodes)
+	}
+	s, err := system.Build(cfg, gen)
+	if err != nil {
+		return nil, err
+	}
+	return s.Execute(), nil
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLists(t *testing.T) {
+	if len(Benchmarks()) != 5 {
+		t.Fatalf("benchmarks = %v", Benchmarks())
+	}
+	if len(Protocols()) != 3 || Protocols()[0] != TSSnoop {
+		t.Fatalf("protocols = %v", Protocols())
+	}
+	if len(Networks()) != 2 {
+		t.Fatalf("networks = %v", Networks())
+	}
+}
+
+func TestRunBenchmarkSmall(t *testing.T) {
+	run, err := RunBenchmark("barnes", DirOpt, Torus, func(c *Config) {
+		c.WarmupPerCPU = 100
+		c.MeasurePerCPU = 200
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Runtime <= 0 || run.TotalMisses() == 0 {
+		t.Fatalf("empty run: %+v", run)
+	}
+	if !strings.Contains(run.Summary(), "misses") {
+		t.Fatal("summary malformed")
+	}
+}
+
+func TestRunBenchmarkUnknown(t *testing.T) {
+	if _, err := RunBenchmark("tpc-w", TSSnoop, Butterfly, nil); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestRunBenchmarkCustomNodes(t *testing.T) {
+	run, err := RunBenchmark("barnes", TSSnoop, Butterfly, func(c *Config) {
+		c.Nodes = 4
+		c.WarmupPerCPU = 100
+		c.MeasurePerCPU = 150
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.MemOps != 4*150 {
+		t.Fatalf("mem ops = %d, want 600", run.MemOps)
+	}
+}
+
+func TestDefaultExperimentSane(t *testing.T) {
+	e := DefaultExperiment()
+	if e.Nodes != 16 || e.Seeds < 1 {
+		t.Fatalf("experiment = %+v", e)
+	}
+}

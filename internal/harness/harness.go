@@ -1,0 +1,211 @@
+// Package harness runs the paper's experiments: the benchmark x protocol
+// x network grid behind Figures 3 and 4, the latency validations behind
+// Table 2, the benchmark characterizations of Table 3, the Section 5
+// bandwidth envelope, and the sensitivity sweeps. Each regeneration
+// returns a structured result with a text rendering used by the cmd
+// tools, EXPERIMENTS.md, and the benchmark suite.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"tsnoop/internal/sim"
+	"tsnoop/internal/stats"
+	"tsnoop/internal/system"
+	"tsnoop/internal/workload"
+)
+
+// Protocols in the paper's presentation order.
+var Protocols = []string{system.ProtoTSSnoop, system.ProtoDirClassic, system.ProtoDirOpt}
+
+// Networks in the paper's presentation order.
+var Networks = []string{system.NetButterfly, system.NetTorus}
+
+// Experiment parameterizes a grid run.
+type Experiment struct {
+	// Nodes is the machine size (16 in the paper).
+	Nodes int
+	// Seeds is the number of perturbed runs per cell; the minimum runtime
+	// is reported ("we report the minimum run time from a set of runs
+	// whose only difference is the perturbation").
+	Seeds int
+	// PerturbMax bounds the injected response delays.
+	PerturbMax sim.Duration
+	// QuotaScale scales the per-benchmark measured quotas (1.0 = default;
+	// tests use smaller values for speed).
+	QuotaScale float64
+	// WarmupScale scales the warm-up quota similarly.
+	WarmupScale float64
+}
+
+// Default returns the experiment setup used to regenerate the paper's
+// figures.
+func Default() Experiment {
+	return Experiment{
+		Nodes:       16,
+		Seeds:       3,
+		PerturbMax:  3 * sim.Nanosecond,
+		QuotaScale:  1.0,
+		WarmupScale: 1.0,
+	}
+}
+
+// Cell identifies one grid cell.
+type Cell struct {
+	Benchmark string
+	Protocol  string
+	Network   string
+}
+
+// CellResult is the best (minimum-runtime) run for a cell.
+type CellResult struct {
+	Cell Cell
+	Best *stats.Run
+}
+
+// scale applies a scale factor with a floor of 1.
+func scale(v int, f float64) int {
+	n := int(float64(v) * f)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// RunCell executes one cell over the experiment's perturbed seeds and
+// returns the minimum-runtime run.
+func (e Experiment) RunCell(c Cell) (CellResult, error) {
+	var best *stats.Run
+	for seed := 0; seed < e.Seeds; seed++ {
+		gen := workload.ByName(c.Benchmark, e.Nodes)
+		if gen == nil {
+			return CellResult{}, fmt.Errorf("harness: unknown benchmark %q", c.Benchmark)
+		}
+		cfg := system.DefaultConfig(c.Protocol, c.Network)
+		cfg.Nodes = e.Nodes
+		cfg.WarmupPerCPU = scale(cfg.WarmupPerCPU, e.WarmupScale)
+		cfg.MeasurePerCPU = scale(workload.MeasureQuota(c.Benchmark), e.QuotaScale)
+		cfg.Seed = uint64(seed + 1)
+		if e.Seeds > 1 {
+			cfg.PerturbMax = e.PerturbMax
+		}
+		s, err := system.Build(cfg, gen)
+		if err != nil {
+			return CellResult{}, err
+		}
+		run := s.Execute()
+		if best == nil || run.Runtime < best.Runtime {
+			best = run
+		}
+	}
+	return CellResult{Cell: c, Best: best}, nil
+}
+
+// Grid holds one network's full benchmark x protocol results.
+type Grid struct {
+	Network string
+	// Cells[benchmark][protocol].
+	Cells map[string]map[string]CellResult
+}
+
+// RunGrid executes every benchmark x protocol cell for one network.
+func (e Experiment) RunGrid(network string) (*Grid, error) {
+	g := &Grid{Network: network, Cells: map[string]map[string]CellResult{}}
+	for _, b := range workload.Names() {
+		g.Cells[b] = map[string]CellResult{}
+		for _, p := range Protocols {
+			res, err := e.RunCell(Cell{Benchmark: b, Protocol: p, Network: network})
+			if err != nil {
+				return nil, err
+			}
+			g.Cells[b][p] = res
+		}
+	}
+	return g, nil
+}
+
+// Figure3 renders the normalized-runtime figure for a grid: runtimes
+// normalized to TS-Snoop (smaller is better), plus the paper's "X% faster"
+// metric Time_dir/Time_TS - 1.
+func (g *Grid) Figure3() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 (%s): runtime normalized to TS-Snoop (smaller is better)\n", g.Network)
+	fmt.Fprintf(&b, "%-10s %10s %12s %12s %18s %15s\n",
+		"benchmark", "TS-Snoop", "DirClassic", "DirOpt", "faster-vs-Classic", "faster-vs-Opt")
+	for _, bench := range workload.Names() {
+		ts := g.Cells[bench][system.ProtoTSSnoop].Best.Runtime
+		dc := g.Cells[bench][system.ProtoDirClassic].Best.Runtime
+		do := g.Cells[bench][system.ProtoDirOpt].Best.Runtime
+		fmt.Fprintf(&b, "%-10s %10.3f %12.3f %12.3f %17.1f%% %14.1f%%\n",
+			bench, 1.0,
+			float64(dc)/float64(ts),
+			float64(do)/float64(ts),
+			100*(float64(dc)/float64(ts)-1),
+			100*(float64(do)/float64(ts)-1))
+	}
+	return b.String()
+}
+
+// Figure4 renders the normalized link-traffic figure with the Data /
+// Request / Nack / Misc breakdown, normalized to TS-Snoop's total.
+func (g *Grid) Figure4() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 (%s): link traffic normalized to TS-Snoop, by class\n", g.Network)
+	fmt.Fprintf(&b, "%-10s %-11s %8s %8s %8s %8s %8s\n",
+		"benchmark", "protocol", "total", "data", "request", "nack", "misc")
+	for _, bench := range workload.Names() {
+		base := g.Cells[bench][system.ProtoTSSnoop].Best.Traffic.TotalLinkBytes()
+		for _, proto := range Protocols {
+			tr := &g.Cells[bench][proto].Best.Traffic
+			norm := func(v int64) float64 { return float64(v) / float64(base) }
+			fmt.Fprintf(&b, "%-10s %-11s %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+				bench, proto,
+				norm(tr.TotalLinkBytes()),
+				norm(tr.LinkBytes(stats.ClassData)),
+				norm(tr.LinkBytes(stats.ClassRequest)),
+				norm(tr.LinkBytes(stats.ClassNack)),
+				norm(tr.LinkBytes(stats.ClassMisc)))
+		}
+	}
+	return b.String()
+}
+
+// SpeedupRange returns the min and max of Time_other/Time_TS - 1 across
+// benchmarks for the given directory protocol (the paper's "TS-Snoop runs
+// 6-28% faster than ..." summaries).
+func (g *Grid) SpeedupRange(proto string) (lo, hi float64) {
+	first := true
+	for _, bench := range workload.Names() {
+		ts := g.Cells[bench][system.ProtoTSSnoop].Best.Runtime
+		other := g.Cells[bench][proto].Best.Runtime
+		v := float64(other)/float64(ts) - 1
+		if first || v < lo {
+			lo = v
+		}
+		if first || v > hi {
+			hi = v
+		}
+		first = false
+	}
+	return lo, hi
+}
+
+// ExtraTrafficRange returns min/max of TS traffic over directory traffic
+// minus 1 (the paper's "13-43% more link traffic").
+func (g *Grid) ExtraTrafficRange(proto string) (lo, hi float64) {
+	first := true
+	for _, bench := range workload.Names() {
+		ts := g.Cells[bench][system.ProtoTSSnoop].Best.Traffic.TotalLinkBytes()
+		other := g.Cells[bench][proto].Best.Traffic.TotalLinkBytes()
+		v := float64(ts)/float64(other) - 1
+		if first || v < lo {
+			lo = v
+		}
+		if first || v > hi {
+			hi = v
+		}
+		first = false
+	}
+	return lo, hi
+}

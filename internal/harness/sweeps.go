@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"tsnoop/internal/system"
+	"tsnoop/internal/workload"
+)
+
+// SweepPoint is one (configuration, protocol) measurement in a sweep.
+type SweepPoint struct {
+	Label      string
+	Protocol   string
+	RuntimePS  int64
+	LinkBytes  int64
+	ThreeHopPc float64
+}
+
+// runPoint executes one configuration for one protocol with DSS-like
+// default settings on a chosen benchmark.
+func (e Experiment) runPoint(label, bench, proto, network string, mutate func(*system.Config)) (SweepPoint, error) {
+	gen := workload.ByName(bench, e.Nodes)
+	cfg := system.DefaultConfig(proto, network)
+	cfg.Nodes = e.Nodes
+	cfg.WarmupPerCPU = scale(cfg.WarmupPerCPU, e.WarmupScale)
+	cfg.MeasurePerCPU = scale(workload.MeasureQuota(bench), e.QuotaScale)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	if cfg.Nodes != e.Nodes {
+		gen = workload.ByName(bench, cfg.Nodes)
+	}
+	s, err := system.Build(cfg, gen)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	run := s.Execute()
+	return SweepPoint{
+		Label:      label,
+		Protocol:   proto,
+		RuntimePS:  int64(run.Runtime),
+		LinkBytes:  run.Traffic.TotalLinkBytes(),
+		ThreeHopPc: 100 * run.CacheToCacheFraction(),
+	}, nil
+}
+
+// NodesSweep measures how machine size shifts the snooping/directory
+// bandwidth trade-off (Section 5: "at larger numbers of processors,
+// directory protocols ... become increasingly attractive"). It returns the
+// TS/DirOpt traffic ratio per machine size on the butterfly.
+func (e Experiment) NodesSweep(bench string) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Machine-size sweep (%s, butterfly): TS-Snoop vs DirOpt\n", bench)
+	fmt.Fprintf(&b, "%6s %16s %16s %14s\n", "nodes", "runtime-ratio", "traffic-ratio", "TS 3-hop(%)")
+	prevRatio := 0.0
+	for _, nodes := range []int{4, 16, 64} {
+		exp := e
+		exp.Nodes = nodes
+		ts, err := exp.runPoint(fmt.Sprintf("n%d", nodes), bench, system.ProtoTSSnoop, system.NetButterfly, nil)
+		if err != nil {
+			return "", err
+		}
+		dir, err := exp.runPoint(fmt.Sprintf("n%d", nodes), bench, system.ProtoDirOpt, system.NetButterfly, nil)
+		if err != nil {
+			return "", err
+		}
+		trafficRatio := float64(ts.LinkBytes) / float64(dir.LinkBytes)
+		fmt.Fprintf(&b, "%6d %16.3f %16.3f %13.0f%%\n",
+			nodes, float64(dir.RuntimePS)/float64(ts.RuntimePS), trafficRatio, ts.ThreeHopPc)
+		prevRatio = trafficRatio
+	}
+	_ = prevRatio
+	return b.String(), nil
+}
+
+// BlockSizeSweep measures the effect of doubling the block size (Section
+// 5: the extra-bandwidth bound drops from 60% to 33% on the butterfly).
+func (e Experiment) BlockSizeSweep(bench string) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Block-size sweep (%s, butterfly): TS-Snoop traffic vs DirOpt\n", bench)
+	fmt.Fprintf(&b, "%7s %16s %18s\n", "block", "traffic-ratio", "analytic bound")
+	for _, block := range []int{64, 128} {
+		mutate := func(c *system.Config) {
+			c.Cache.BlockBytes = block
+			c.Cache.SizeBytes = 4 << 20
+		}
+		ts, err := e.runPoint(fmt.Sprintf("b%d", block), bench, system.ProtoTSSnoop, system.NetButterfly, mutate)
+		if err != nil {
+			return "", err
+		}
+		dir, err := e.runPoint(fmt.Sprintf("b%d", block), bench, system.ProtoDirOpt, system.NetButterfly, mutate)
+		if err != nil {
+			return "", err
+		}
+		env, err := Envelope(system.NetButterfly, e.Nodes, block)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%7d %16.3f %17.0f%%\n",
+			block, float64(ts.LinkBytes)/float64(dir.LinkBytes), env.ExtraBoundPc)
+	}
+	return b.String(), nil
+}
+
+// AblationReport compares the timestamp-snooping design knobs called out
+// in DESIGN.md: initial slack, prefetch (optimization 1), early processing
+// (optimization 2), and tokens per port.
+func (e Experiment) AblationReport(bench, network string) (string, error) {
+	type knob struct {
+		label  string
+		mutate func(*system.Config)
+	}
+	knobs := []knob{
+		{"baseline (S=1, prefetch on, opt2 off)", nil},
+		{"slack S=0", func(c *system.Config) { c.InitialSlack = 0 }},
+		{"slack S=4", func(c *system.Config) { c.InitialSlack = 4 }},
+		{"no prefetch (opt 1 off)", func(c *system.Config) { c.Prefetch = false }},
+		{"early processing (opt 2 on)", func(c *system.Config) { c.EarlyProcessing = true }},
+		{"tokens per port = 2", func(c *system.Config) { c.TokensPerPort = 2 }},
+		{"MOSI (Owned state)", func(c *system.Config) { c.UseOwnedState = true }},
+		{"multicast snooping", func(c *system.Config) { c.Multicast = true }},
+		{"multicast, 32-entry predictor", func(c *system.Config) { c.Multicast = true; c.PredictorSize = 32 }},
+		{"multicast + MOSI", func(c *system.Config) { c.Multicast = true; c.UseOwnedState = true }},
+		{"contention modelled", func(c *system.Config) { c.Contention = true }},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "TS-Snoop ablations (%s, %s)\n", bench, network)
+	fmt.Fprintf(&b, "%-38s %14s %16s\n", "variant", "runtime", "link bytes")
+	for _, k := range knobs {
+		pt, err := e.runPoint(k.label, bench, system.ProtoTSSnoop, network, k.mutate)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-38s %14d %16d\n", k.label, pt.RuntimePS, pt.LinkBytes)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,80 @@
+// Package processor models the paper's processor assumption: a core plus
+// level-one caches that would complete four billion instructions per
+// second with a perfect memory system (250 ps/instruction), issuing
+// blocking requests to the level-two cache (Section 4.2/4.3).
+//
+// The workload generator plays the role of Simics: it produces the L2
+// reference stream (the L1 filter is folded into the generator's think
+// times). The processor interleaves think instructions with blocking L2
+// accesses until it has executed its quota of memory operations.
+package processor
+
+import (
+	"tsnoop/internal/coherence"
+	"tsnoop/internal/sim"
+	"tsnoop/internal/stats"
+	"tsnoop/internal/timing"
+	"tsnoop/internal/workload"
+)
+
+// Processor drives one node's memory operations.
+type Processor struct {
+	k      *sim.Kernel
+	id     int
+	proto  coherence.Protocol
+	gen    workload.Generator
+	params timing.Params
+	rng    *sim.Rand
+	run    *stats.Run
+
+	quota    int
+	executed int
+	finished bool
+	// FinishedAt is the simulated time the quota completed.
+	FinishedAt sim.Time
+
+	onFinish func(id int)
+}
+
+// New creates a processor for node id executing quota memory operations.
+func New(k *sim.Kernel, id int, proto coherence.Protocol, gen workload.Generator,
+	params timing.Params, rng *sim.Rand, run *stats.Run, quota int, onFinish func(int)) *Processor {
+	return &Processor{
+		k: k, id: id, proto: proto, gen: gen,
+		params: params, rng: rng, run: run,
+		quota: quota, onFinish: onFinish,
+	}
+}
+
+// Start begins execution at the current simulated time.
+func (p *Processor) Start() { p.step() }
+
+// Finished reports whether the quota is done.
+func (p *Processor) Finished() bool { return p.finished }
+
+// Executed returns completed memory operations.
+func (p *Processor) Executed() int { return p.executed }
+
+func (p *Processor) step() {
+	if p.executed >= p.quota {
+		p.finished = true
+		p.FinishedAt = p.k.Now()
+		if p.onFinish != nil {
+			p.onFinish(p.id)
+		}
+		return
+	}
+	acc := p.gen.Next(p.id, p.rng)
+	think := sim.Duration(acc.Think) * p.params.InstrTime
+	p.run.Instructions += int64(acc.Think)
+	p.k.After(think, func() {
+		p.run.MemOps++
+		p.proto.Access(p.id, acc.Op, acc.Block, func(r coherence.AccessResult) {
+			if r.Hit {
+				p.run.L2Hits++
+			}
+			p.executed++
+			p.step()
+		})
+	})
+}

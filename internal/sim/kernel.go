@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // insertion order; breaks ties deterministically (FIFO)
+	fn  func()
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() (Time, bool) { // smallest timestamp without popping
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// Kernel is a deterministic discrete-event scheduler. The zero value is
+// ready to use at time zero.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Executed counts dispatched events; useful for progress accounting
+	// and loop-detection in tests.
+	executed uint64
+}
+
+// NewKernel returns a kernel whose clock starts at zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed returns the number of events dispatched so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending returns the number of scheduled-but-not-yet-dispatched events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t less
+// than Now) panics: it would silently corrupt causality.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d picoseconds from now. Negative delays panic.
+func (k *Kernel) After(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.At(k.now+d, fn)
+}
+
+// Step dispatches the single earliest event, advancing the clock to its
+// timestamp. It reports false when no events remain.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(event)
+	k.now = e.at
+	k.executed++
+	e.fn()
+	return true
+}
+
+// Run dispatches events until the queue is empty.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil dispatches events with timestamps <= t, then sets the clock to t.
+// Events scheduled beyond t remain pending.
+func (k *Kernel) RunUntil(t Time) {
+	for {
+		at, ok := k.events.peek()
+		if !ok || at > t {
+			break
+		}
+		k.Step()
+	}
+	if t > k.now {
+		k.now = t
+	}
+}
+
+// RunWhile dispatches events while cond() holds and events remain. It is
+// the main loop used by the harness ("run until every processor has
+// finished its quota").
+func (k *Kernel) RunWhile(cond func() bool) {
+	for cond() && k.Step() {
+	}
+}

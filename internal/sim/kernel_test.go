@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelZeroValueUsable(t *testing.T) {
+	var k Kernel
+	if k.Now() != 0 {
+		t.Fatalf("zero kernel Now = %v, want 0", k.Now())
+	}
+	ran := false
+	k.After(5*Nanosecond, func() { ran = true })
+	k.Run()
+	if !ran {
+		t.Fatal("event did not run")
+	}
+	if k.Now() != 5*Nanosecond {
+		t.Fatalf("Now = %v, want 5ns", k.Now())
+	}
+}
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.At(30, func() { order = append(order, 3) })
+	k.At(10, func() { order = append(order, 1) })
+	k.At(20, func() { order = append(order, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestKernelFIFOAtSameTime(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(100, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	var hits []Time
+	k.At(10, func() {
+		hits = append(hits, k.Now())
+		k.After(5, func() { hits = append(hits, k.Now()) })
+	})
+	k.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("hits = %v, want [10 15]", hits)
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := Time(10); i <= 100; i += 10 {
+		k.At(i, func() { count++ })
+	}
+	k.RunUntil(50)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if k.Now() != 50 {
+		t.Fatalf("Now = %v, want 50", k.Now())
+	}
+	if k.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", k.Pending())
+	}
+	k.Run()
+	if count != 10 {
+		t.Fatalf("count after Run = %d, want 10", count)
+	}
+}
+
+func TestKernelRunWhile(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := Time(1); i <= 100; i++ {
+		k.At(i, func() { count++ })
+	}
+	k.RunWhile(func() bool { return count < 7 })
+	if count != 7 {
+		t.Fatalf("count = %d, want 7", count)
+	}
+}
+
+func TestKernelPastSchedulingPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(100, func() {})
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	k.At(50, func() {})
+}
+
+func TestKernelNegativeDelayPanics(t *testing.T) {
+	k := NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	k.After(-1, func() {})
+}
+
+func TestKernelExecutedCount(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 42; i++ {
+		k.At(Time(i), func() {})
+	}
+	k.Run()
+	if k.Executed() != 42 {
+		t.Fatalf("Executed = %d, want 42", k.Executed())
+	}
+}
+
+// Property: regardless of insertion order, events fire in nondecreasing
+// timestamp order, and the clock never goes backward.
+func TestKernelMonotonicProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		k := NewKernel()
+		var fired []Time
+		for _, v := range raw {
+			at := Time(v)
+			k.At(at, func() { fired = append(fired, k.Now()) })
+		}
+		k.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{250, "250ps"},
+		{49 * Nanosecond, "49.00ns"},
+		{123 * Microsecond, "123.00us"},
+		{45 * Millisecond, "45.000ms"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}

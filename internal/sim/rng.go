@@ -1,0 +1,124 @@
+package sim
+
+// Rand is a small, fast, deterministic pseudo-random number generator
+// (xoshiro256** with a splitmix64 seeder). The standard library's
+// math/rand would also work, but carrying our own implementation keeps the
+// generated streams stable across Go releases, which matters because the
+// workload generators and the perturbation methodology are both seeded and
+// the regression tests assert exact simulated runtimes.
+type Rand struct {
+	s [4]uint64
+}
+
+// NewRand returns a generator seeded from the given value. Any seed,
+// including zero, produces a usable state.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	// splitmix64 expansion of the seed into 256 bits of state.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split derives an independent generator from r; used to give each
+// processor and each subsystem its own stream so that adding a consumer
+// does not perturb the others.
+func (r *Rand) Split() *Rand { return NewRand(r.Uint64() ^ 0xd1b54a32d192ed03) }
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics when n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Duration returns a uniform Duration in [0, d). d must be positive.
+func (r *Rand) Duration(d Duration) Duration { return Duration(r.Int63n(int64(d))) }
+
+// Geometric returns a sample from a geometric-ish distribution with the
+// given mean (>= 1), clamped to [1, 64*mean]. Used for "think time"
+// instruction counts between memory operations.
+func (r *Rand) Geometric(mean float64) int {
+	if mean < 1 {
+		mean = 1
+	}
+	// Inverse-CDF sampling of an exponential, rounded up.
+	u := r.Float64()
+	if u >= 1 {
+		u = 0.999999
+	}
+	x := 1 - u
+	// -ln(x) * mean, computed without math import via a short series is
+	// too inaccurate; use a simple iterative approximation of ln.
+	v := lnApprox(x)
+	n := int(-v * mean)
+	if n < 1 {
+		n = 1
+	}
+	if max := int(mean * 64); n > max {
+		n = max
+	}
+	return n
+}
+
+// lnApprox computes a natural log approximation for x in (0,1], accurate to
+// a few parts in 1e3 — ample for workload think-time sampling.
+func lnApprox(x float64) float64 {
+	if x <= 0 {
+		return -36 // ~ln(2^-52)
+	}
+	// Normalize x into [0.5, 1) tracking the power of two.
+	k := 0
+	for x < 0.5 {
+		x *= 2
+		k--
+	}
+	for x >= 1 {
+		x /= 2
+		k++
+	}
+	// atanh-based series: ln(x) = 2*atanh((x-1)/(x+1)).
+	y := (x - 1) / (x + 1)
+	y2 := y * y
+	s := y * (1 + y2*(1.0/3+y2*(1.0/5+y2*(1.0/7+y2/9))))
+	const ln2 = 0.6931471805599453
+	return 2*s + float64(k)*ln2
+}

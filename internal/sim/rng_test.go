@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(12345), NewRand(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("identical seeds diverged")
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestRandIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(3)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRandBoolProbability(t *testing.T) {
+	r := NewRand(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestRandSplitIndependence(t *testing.T) {
+	parent := NewRand(99)
+	a := parent.Split()
+	b := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams correlated: %d/100 identical", same)
+	}
+}
+
+func TestRandGeometricMean(t *testing.T) {
+	r := NewRand(5)
+	const target = 50.0
+	sum := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Geometric(target)
+		if v < 1 {
+			t.Fatalf("Geometric returned %d < 1", v)
+		}
+		sum += v
+	}
+	mean := float64(sum) / n
+	// Exponential rounding keeps the realized mean near the target; wide
+	// tolerance because of the clamp and floor.
+	if mean < target*0.8 || mean > target*1.2 {
+		t.Fatalf("Geometric mean = %v, want ~%v", mean, target)
+	}
+}
+
+func TestRandGeometricSmallMean(t *testing.T) {
+	r := NewRand(6)
+	for i := 0; i < 1000; i++ {
+		if v := r.Geometric(0.5); v != 1 && v > 32 {
+			t.Fatalf("Geometric(0.5) = %d", v)
+		}
+	}
+}
+
+func TestLnApprox(t *testing.T) {
+	for _, x := range []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+		got := lnApprox(x)
+		want := math.Log(x)
+		if math.Abs(got-want) > 5e-3*math.Max(1, math.Abs(want)) {
+			t.Errorf("lnApprox(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+// Property: Duration samples stay within the bound.
+func TestRandDurationProperty(t *testing.T) {
+	r := NewRand(8)
+	f := func(d uint32) bool {
+		bound := Duration(d%1000000) + 1
+		v := r.Duration(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

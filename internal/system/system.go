@@ -1,0 +1,244 @@
+// Package system assembles complete target machines: a topology, a
+// coherence protocol, and one processor per node driving a workload
+// generator — the 16-node SPARC server of Section 4.2, parameterized so
+// the sensitivity sweeps can also build 4- and 64-node variants.
+package system
+
+import (
+	"fmt"
+	"math"
+
+	"tsnoop/internal/cache"
+	"tsnoop/internal/coherence"
+	"tsnoop/internal/processor"
+	"tsnoop/internal/protocol/directory"
+	"tsnoop/internal/protocol/tssnoop"
+	"tsnoop/internal/sim"
+	"tsnoop/internal/stats"
+	"tsnoop/internal/timing"
+	"tsnoop/internal/topology"
+	"tsnoop/internal/workload"
+)
+
+// Protocol names accepted by Config.
+const (
+	ProtoTSSnoop    = "TS-Snoop"
+	ProtoDirClassic = "DirClassic"
+	ProtoDirOpt     = "DirOpt"
+)
+
+// Network names accepted by Config.
+const (
+	NetButterfly = "butterfly"
+	NetTorus     = "torus"
+)
+
+// Config describes one target machine and run.
+type Config struct {
+	Network  string // NetButterfly or NetTorus
+	Nodes    int    // 16 in the paper; butterfly requires a square count
+	Protocol string
+
+	Params timing.Params
+	Cache  cache.Config
+
+	// WarmupPerCPU memory operations run before statistics reset;
+	// MeasurePerCPU are the measured operations.
+	WarmupPerCPU  int
+	MeasurePerCPU int
+
+	// Seed drives the workload and perturbation randomness.
+	Seed uint64
+	// PerturbMax, when positive, adds uniform random delay in
+	// [0, PerturbMax) to protocol responses (the stability methodology).
+	PerturbMax sim.Duration
+
+	// Timestamp snooping knobs (ablations).
+	InitialSlack    int
+	TokensPerPort   int
+	Prefetch        bool
+	EarlyProcessing bool
+	Contention      bool
+	// UseOwnedState upgrades TS-Snoop from MSI to MOSI (the paper's
+	// Section 3 extension; see tssnoop.Options).
+	UseOwnedState bool
+	// Multicast enables simplified multicast snooping for GETS (the
+	// paper's first future-work item; see tssnoop.Options).
+	Multicast bool
+	// PredictorSize bounds the multicast owner predictor (0 = unbounded,
+	// negative = disabled).
+	PredictorSize int
+}
+
+// DefaultConfig is the paper's machine for the given protocol/network.
+func DefaultConfig(protocol, network string) Config {
+	return Config{
+		Network:       network,
+		Nodes:         16,
+		Protocol:      protocol,
+		Params:        timing.Default(),
+		Cache:         cache.DefaultConfig(),
+		WarmupPerCPU:  2500,
+		MeasurePerCPU: 2500,
+		Seed:          1,
+		InitialSlack:  1,
+		TokensPerPort: 1,
+		Prefetch:      true,
+	}
+}
+
+// System is an assembled machine.
+type System struct {
+	Cfg   Config
+	K     *sim.Kernel
+	Topo  *topology.Topology
+	Proto coherence.Protocol
+	Run   *stats.Run
+
+	gen     workload.Generator
+	touched map[coherence.Block]bool
+	rngs    []*sim.Rand
+}
+
+// buildTopology maps (network, nodes) to a Topology.
+func buildTopology(network string, nodes int) (*topology.Topology, error) {
+	switch network {
+	case NetButterfly:
+		r := int(math.Round(math.Sqrt(float64(nodes))))
+		if r*r != nodes {
+			return nil, fmt.Errorf("system: butterfly needs a square node count, got %d", nodes)
+		}
+		return topology.Butterfly(r)
+	case NetTorus:
+		// Choose the most square factorization w*h = nodes.
+		best := 0
+		for w := 2; w*w <= nodes; w++ {
+			if nodes%w == 0 && nodes/w >= 2 {
+				best = w
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("system: cannot factor %d nodes into a torus", nodes)
+		}
+		return topology.Torus(best, nodes/best)
+	default:
+		return nil, fmt.Errorf("system: unknown network %q", network)
+	}
+}
+
+// Build assembles a machine running gen. The kernel starts at time zero.
+func Build(cfg Config, gen workload.Generator) (*System, error) {
+	topo, err := buildTopology(cfg.Network, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	k := sim.NewKernel()
+	run := &stats.Run{}
+	oracle := coherence.NewOracle()
+
+	var proto coherence.Protocol
+	switch cfg.Protocol {
+	case ProtoTSSnoop:
+		opts := tssnoop.DefaultOptions(cfg.Params)
+		opts.Cache = cfg.Cache
+		opts.Net.InitialSlack = cfg.InitialSlack
+		opts.Net.TokensPerPort = cfg.TokensPerPort
+		opts.Net.Contention = cfg.Contention
+		opts.Prefetch = cfg.Prefetch
+		opts.EarlyProcessing = cfg.EarlyProcessing
+		opts.UseOwnedState = cfg.UseOwnedState
+		opts.Multicast = cfg.Multicast
+		opts.PredictorSize = cfg.PredictorSize
+		p := tssnoop.New(k, topo, cfg.Params, run, oracle, opts)
+		if cfg.PerturbMax > 0 {
+			prng := sim.NewRand(cfg.Seed ^ 0xfeed)
+			p.SetPerturbation(func() sim.Duration { return prng.Duration(cfg.PerturbMax) })
+		}
+		proto = p
+	case ProtoDirClassic, ProtoDirOpt:
+		v := directory.Classic
+		if cfg.Protocol == ProtoDirOpt {
+			v = directory.Opt
+		}
+		opts := directory.DefaultOptions(v)
+		opts.Cache = cfg.Cache
+		opts.RetrySeed = cfg.Seed ^ 0x4e7247
+		p := directory.New(k, topo, cfg.Params, run, oracle, opts)
+		if cfg.PerturbMax > 0 {
+			prng := sim.NewRand(cfg.Seed ^ 0xfeed)
+			p.SetPerturbation(func() sim.Duration { return prng.Duration(cfg.PerturbMax) })
+		}
+		proto = p
+	default:
+		return nil, fmt.Errorf("system: unknown protocol %q", cfg.Protocol)
+	}
+
+	s := &System{
+		Cfg:     cfg,
+		K:       k,
+		Topo:    topo,
+		Proto:   proto,
+		Run:     run,
+		gen:     gen,
+		touched: make(map[coherence.Block]bool),
+	}
+	root := sim.NewRand(cfg.Seed)
+	s.rngs = make([]*sim.Rand, cfg.Nodes)
+	for i := range s.rngs {
+		s.rngs[i] = root.Split()
+	}
+	return s, nil
+}
+
+// countingGen records distinct blocks touched (Table 3 column 2).
+type countingGen struct {
+	inner   workload.Generator
+	touched map[coherence.Block]bool
+}
+
+func (c *countingGen) Name() string          { return c.inner.Name() }
+func (c *countingGen) FootprintBytes() int64 { return c.inner.FootprintBytes() }
+func (c *countingGen) Next(cpu int, r *sim.Rand) workload.Access {
+	a := c.inner.Next(cpu, r)
+	c.touched[a.Block] = true
+	return a
+}
+
+// runPhase executes quota operations on every processor and returns the
+// phase's makespan (time from phase start until the last processor
+// finished).
+func (s *System) runPhase(quota int) sim.Time {
+	if quota == 0 {
+		return 0
+	}
+	start := s.K.Now()
+	remaining := s.Cfg.Nodes
+	gen := &countingGen{inner: s.gen, touched: s.touched}
+	var last sim.Time
+	for i := 0; i < s.Cfg.Nodes; i++ {
+		p := processor.New(s.K, i, s.Proto, gen, s.Cfg.Params, s.rngs[i], s.Run, quota, func(int) {
+			remaining--
+			if s.K.Now() > last {
+				last = s.K.Now()
+			}
+		})
+		p.Start()
+	}
+	s.K.RunWhile(func() bool { return remaining > 0 })
+	if remaining > 0 {
+		panic("system: processors did not finish (protocol deadlock?)")
+	}
+	return last - start
+}
+
+// Execute runs warm-up, resets statistics, runs the measured phase, and
+// returns the populated Run (also available as s.Run). Runtime is the
+// measured phase's makespan.
+func (s *System) Execute() *stats.Run {
+	s.runPhase(s.Cfg.WarmupPerCPU)
+	s.Run.Reset(s.K.Now())
+	runtime := s.runPhase(s.Cfg.MeasurePerCPU)
+	s.Run.Runtime = runtime
+	s.Run.DataTouched = int64(len(s.touched)) * int64(s.Cfg.Cache.BlockBytes)
+	return s.Run
+}

@@ -1,0 +1,149 @@
+package system
+
+import (
+	"testing"
+
+	"tsnoop/internal/sim"
+	"tsnoop/internal/workload"
+)
+
+func TestBuildTopologyVariants(t *testing.T) {
+	cases := []struct {
+		network string
+		nodes   int
+		ok      bool
+	}{
+		{NetButterfly, 16, true},
+		{NetButterfly, 4, true},
+		{NetButterfly, 64, true},
+		{NetButterfly, 12, false},
+		{NetTorus, 16, true},
+		{NetTorus, 8, true},
+		{NetTorus, 7, false},
+		{"ring", 16, false},
+	}
+	for _, c := range cases {
+		_, err := buildTopology(c.network, c.nodes)
+		if (err == nil) != c.ok {
+			t.Errorf("buildTopology(%s,%d) err=%v, want ok=%v", c.network, c.nodes, err, c.ok)
+		}
+	}
+}
+
+func TestUnknownProtocolRejected(t *testing.T) {
+	cfg := DefaultConfig("MOESI-2000", NetButterfly)
+	if _, err := Build(cfg, workload.Barnes(16)); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestExecuteDeterministic(t *testing.T) {
+	run := func() (sim.Time, int64) {
+		cfg := DefaultConfig(ProtoTSSnoop, NetTorus)
+		cfg.WarmupPerCPU = 200
+		cfg.MeasurePerCPU = 400
+		s, err := Build(cfg, workload.Barnes(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := s.Execute()
+		return r.Runtime, r.Traffic.TotalLinkBytes()
+	}
+	rt1, tr1 := run()
+	rt2, tr2 := run()
+	if rt1 != rt2 || tr1 != tr2 {
+		t.Fatalf("nondeterministic: %v/%d vs %v/%d", rt1, tr1, rt2, tr2)
+	}
+}
+
+func TestPerturbationChangesTiming(t *testing.T) {
+	base := DefaultConfig(ProtoDirOpt, NetButterfly)
+	base.WarmupPerCPU = 200
+	base.MeasurePerCPU = 400
+	s1, _ := Build(base, workload.Barnes(16))
+	r1 := s1.Execute()
+	pert := base
+	pert.PerturbMax = 3 * sim.Nanosecond
+	s2, _ := Build(pert, workload.Barnes(16))
+	r2 := s2.Execute()
+	if r1.Runtime == r2.Runtime {
+		t.Fatal("perturbation had no effect on runtime")
+	}
+}
+
+func TestWarmupResetsStatistics(t *testing.T) {
+	cfg := DefaultConfig(ProtoDirOpt, NetButterfly)
+	cfg.WarmupPerCPU = 300
+	cfg.MeasurePerCPU = 300
+	s, err := Build(cfg, workload.Barnes(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Execute()
+	// Measured memory operations must be exactly the measured quota.
+	if r.MemOps != int64(cfg.MeasurePerCPU*cfg.Nodes) {
+		t.Fatalf("measured mem ops = %d, want %d", r.MemOps, cfg.MeasurePerCPU*cfg.Nodes)
+	}
+	if r.Runtime <= 0 {
+		t.Fatal("no runtime measured")
+	}
+}
+
+// Calibration: measured cache-to-cache fractions must stay within
+// tolerance of Table 3's values (43/60/40/40/43 percent), the paper's
+// central workload characteristic.
+func TestCacheToCacheFractionsMatchTable3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run")
+	}
+	targets := map[string]float64{
+		"OLTP": 0.43, "DSS": 0.60, "apache": 0.40, "altavista": 0.40, "barnes": 0.43,
+	}
+	const tol = 0.06
+	gens := workload.Benchmarks(16)
+	for _, g := range gens {
+		cfg := DefaultConfig(ProtoDirOpt, NetButterfly)
+		cfg.MeasurePerCPU = workload.MeasureQuota(g.Name())
+		s, err := Build(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := s.Execute()
+		got := run.CacheToCacheFraction()
+		want := targets[g.Name()]
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s cache-to-cache fraction = %.3f, want %.2f +/- %.2f", g.Name(), got, want, tol)
+		}
+	}
+}
+
+// Miss counts and data touched preserve Table 3's orderings.
+func TestTable3Orderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run")
+	}
+	misses := map[string]int64{}
+	touched := map[string]int64{}
+	for _, g := range workload.Benchmarks(16) {
+		cfg := DefaultConfig(ProtoDirOpt, NetButterfly)
+		cfg.MeasurePerCPU = workload.MeasureQuota(g.Name())
+		s, err := Build(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := s.Execute()
+		misses[g.Name()] = run.TotalMisses()
+		touched[g.Name()] = run.DataTouched
+	}
+	// Paper: misses 5.3M > 2.4M (altavista) >= 2.3M (apache) > 1.7M (DSS)
+	// > 1.0M (barnes).
+	if !(misses["OLTP"] > misses["altavista"] && misses["altavista"] > misses["DSS"] &&
+		misses["apache"] > misses["DSS"] && misses["DSS"] > misses["barnes"]) {
+		t.Errorf("miss-count ordering broken: %v", misses)
+	}
+	// Footprint: OLTP touches the most data, barnes the least.
+	if !(touched["OLTP"] > touched["apache"] && touched["OLTP"] > touched["DSS"] &&
+		touched["barnes"] < touched["apache"] && touched["barnes"] < touched["altavista"]) {
+		t.Errorf("data-touched ordering broken: %v", touched)
+	}
+}

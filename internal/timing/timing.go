@@ -1,0 +1,60 @@
+// Package timing holds the target-system timing assumptions of Table 2 and
+// Section 4.2, shared by every protocol and by the analytic latency checks.
+package timing
+
+import "tsnoop/internal/sim"
+
+// Params are the unloaded timing assumptions. All protocols in a
+// comparison must use identical Params for the normalized results to be
+// meaningful.
+type Params struct {
+	// Dovh is the enter/exit network overhead (4 ns).
+	Dovh sim.Duration
+	// Dswitch is one switch traversal including wire propagation,
+	// synchronization, and routing (15 ns per link).
+	Dswitch sim.Duration
+	// Dmem is the directory+memory access time (80 ns).
+	Dmem sim.Duration
+	// Dcache is the time for a cache to provide data to the network after
+	// a protocol message arrives (25 ns).
+	Dcache sim.Duration
+	// InstrTime is the cost of one instruction: the paper assumes
+	// processors complete four billion instructions per second with a
+	// perfect memory system, i.e. 250 ps/instruction.
+	InstrTime sim.Duration
+	// L2Hit is the level-two cache hit latency. The paper does not state
+	// it; it is identical across protocols, so it cancels in all
+	// normalized results.
+	L2Hit sim.Duration
+}
+
+// Default returns the paper's Table 2 assumptions.
+func Default() Params {
+	return Params{
+		Dovh:      4 * sim.Nanosecond,
+		Dswitch:   15 * sim.Nanosecond,
+		Dmem:      80 * sim.Nanosecond,
+		Dcache:    25 * sim.Nanosecond,
+		InstrTime: 250 * sim.Picosecond,
+		L2Hit:     12 * sim.Nanosecond,
+	}
+}
+
+// Dnet returns the one-way unloaded network latency for a message
+// traversing the given number of links: Dovh + hops*Dswitch.
+func (p Params) Dnet(hops int) sim.Duration {
+	return p.Dovh + sim.Duration(hops)*p.Dswitch
+}
+
+// Message sizes (Section 5): data messages carry the data block plus an
+// 8-byte header; all other messages carry the necessary bits of a 44-bit
+// physical address.
+const (
+	// DataBytes is the data-message size for the paper's 64-byte blocks.
+	DataBytes = 72
+	// CtrlBytes is the size of every non-data message.
+	CtrlBytes = 8
+)
+
+// DataMsgBytes returns the data-message size for a given block size.
+func DataMsgBytes(blockBytes int) int { return blockBytes + CtrlBytes }

@@ -1,0 +1,61 @@
+package timing
+
+import (
+	"testing"
+
+	"tsnoop/internal/sim"
+)
+
+func TestDefaultMatchesTable2Assumptions(t *testing.T) {
+	p := Default()
+	if p.Dovh != 4*sim.Nanosecond {
+		t.Errorf("Dovh = %v", p.Dovh)
+	}
+	if p.Dswitch != 15*sim.Nanosecond {
+		t.Errorf("Dswitch = %v", p.Dswitch)
+	}
+	if p.Dmem != 80*sim.Nanosecond {
+		t.Errorf("Dmem = %v", p.Dmem)
+	}
+	if p.Dcache != 25*sim.Nanosecond {
+		t.Errorf("Dcache = %v", p.Dcache)
+	}
+	if p.InstrTime != 250*sim.Picosecond {
+		t.Errorf("InstrTime = %v (want 4 BIPS)", p.InstrTime)
+	}
+}
+
+func TestDnetFormulas(t *testing.T) {
+	p := Default()
+	// Butterfly one-way: Dovh + 3*Dswitch = 49 ns.
+	if got := p.Dnet(3); got != 49*sim.Nanosecond {
+		t.Errorf("Dnet(3) = %v, want 49ns", got)
+	}
+	// Torus mean: Dovh + 2*Dswitch = 34 ns.
+	if got := p.Dnet(2); got != 34*sim.Nanosecond {
+		t.Errorf("Dnet(2) = %v, want 34ns", got)
+	}
+	// Derived Table 2 values.
+	dnet := p.Dnet(3)
+	if mem := dnet + p.Dmem + dnet; mem != 178*sim.Nanosecond {
+		t.Errorf("block from memory = %v, want 178ns", mem)
+	}
+	if c2c := dnet + p.Dcache + dnet; c2c != 123*sim.Nanosecond {
+		t.Errorf("TS cache-to-cache = %v, want 123ns", c2c)
+	}
+	if hop3 := 3*dnet + p.Dmem + p.Dcache; hop3 != 252*sim.Nanosecond {
+		t.Errorf("directory 3-hop = %v, want 252ns", hop3)
+	}
+}
+
+func TestMessageSizes(t *testing.T) {
+	if DataBytes != 72 || CtrlBytes != 8 {
+		t.Fatalf("message sizes %d/%d", DataBytes, CtrlBytes)
+	}
+	if DataMsgBytes(64) != 72 {
+		t.Fatalf("DataMsgBytes(64) = %d", DataMsgBytes(64))
+	}
+	if DataMsgBytes(128) != 136 {
+		t.Fatalf("DataMsgBytes(128) = %d", DataMsgBytes(128))
+	}
+}

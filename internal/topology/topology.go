@@ -1,0 +1,311 @@
+// Package topology describes the switched interconnects evaluated in the
+// paper: four-butterfly indirect networks (modelled as one radix-r
+// two-stage butterfly token domain) and WxH bidirectional 2D tori.
+//
+// A Topology is an explicit directed graph of endpoints and switches. Two
+// consumers use it:
+//
+//   - The unloaded point-to-point fabric (package network) needs hop counts
+//     (latency) and link counts (traffic) between endpoint pairs.
+//   - The timestamp-snooping address network (package tsnet) needs the full
+//     switch graph: input/output link sets per switch, plus a broadcast
+//     spanning tree per source with the paper's per-branch dD values
+//     ("the magnitude of the decrease in maximum pipeline depth for a
+//     branch of the broadcast", Section 2.2).
+//
+// Link cost conventions follow the paper's link accounting:
+//
+//   - Butterfly: endpoint<->switch links are physical chip-to-chip links
+//     (cost 1). A 16-endpoint radix-4 butterfly delivers point-to-point
+//     messages over 3 links and broadcasts over 21 links (1+4+16).
+//   - Torus: the switch is integrated on the processor die, so
+//     endpoint<->switch links are free (cost 0). Point-to-point messages
+//     use the torus distance in links; broadcasts use 15 links on a 4x4.
+package topology
+
+import "fmt"
+
+// LinkID identifies a directed link within a Topology.
+type LinkID int
+
+// VertexKind discriminates the two vertex types of the network graph.
+type VertexKind int
+
+// Vertex kinds.
+const (
+	KindEndpoint VertexKind = iota
+	KindSwitch
+)
+
+// Vertex is either an endpoint (processor/memory node network interface)
+// or a switch.
+type Vertex struct {
+	Kind  VertexKind
+	Index int
+}
+
+func (v Vertex) String() string {
+	if v.Kind == KindEndpoint {
+		return fmt.Sprintf("ep%d", v.Index)
+	}
+	return fmt.Sprintf("sw%d", v.Index)
+}
+
+// Link is a directed link. Cost is the logical hop count of traversing the
+// link: 1 for physical links (15 ns switch traversals in the paper's
+// timing model) and 0 for on-die endpoint<->switch connections in the
+// torus. Links with Cost > 0 are counted in traffic totals.
+type Link struct {
+	ID       LinkID
+	From, To Vertex
+	Cost     int
+}
+
+// Counted reports whether traffic over this link contributes to the
+// paper's link-traffic totals (Figure 4).
+func (l Link) Counted() bool { return l.Cost > 0 }
+
+// Switch lists a switch's incoming and outgoing links.
+type Switch struct {
+	ID  int
+	In  []LinkID
+	Out []LinkID
+}
+
+// Branch is one output of a broadcast routing step: forward on Link, and
+// increase the transaction's slack by DeltaD (the decrease in the maximum
+// remaining pipeline depth relative to the longest branch). Reach is the
+// set of endpoints (bitmask, for machines up to 64 nodes) delivered
+// through this branch; multicast pruning drops branches whose reach does
+// not intersect the destination set, which never alters a surviving
+// copy's path and therefore preserves every ordering-time invariant.
+type Branch struct {
+	Link   LinkID
+	DeltaD int
+	Reach  uint64
+}
+
+// BroadcastTree is the statically balanced minimum-depth spanning tree used
+// to broadcast a source's address transactions to every endpoint.
+type BroadcastTree struct {
+	Source int
+	// TotalLinks is the number of counted links in the tree — the traffic
+	// cost of one broadcast.
+	TotalLinks int
+	// Depth[d] is the logical hop count from the source to endpoint d.
+	Depth []int
+	// MaxDepth is the maximum of Depth; it is the Dmax term of the
+	// ordering-time assignment OT = GT_source + Dmax + S.
+	MaxDepth int
+	// Route maps a switch ID to the branches a transaction from Source
+	// takes when it arrives at that switch.
+	Route map[int][]Branch
+	// InjectDeltaD is the dD applied on the source endpoint's injection
+	// link (zero unless the injection link itself is off the longest
+	// path, which does not occur for these topologies).
+	InjectDeltaD int
+}
+
+// Topology is a fully constructed interconnect description.
+type Topology struct {
+	name     string
+	n        int
+	switches []Switch
+	links    []Link
+	epOut    []LinkID // injection link per endpoint
+	epIn     []LinkID // ejection link per endpoint
+	hops     [][]int  // endpoint-to-endpoint logical hop counts
+	trees    []*BroadcastTree
+}
+
+// Name returns a short human-readable topology name.
+func (t *Topology) Name() string { return t.name }
+
+// Nodes returns the number of endpoints.
+func (t *Topology) Nodes() int { return t.n }
+
+// NumSwitches returns the number of switches.
+func (t *Topology) NumSwitches() int { return len(t.switches) }
+
+// Switches returns the switch descriptors (shared slice; do not mutate).
+func (t *Topology) Switches() []Switch { return t.switches }
+
+// Links returns the link descriptors (shared slice; do not mutate).
+func (t *Topology) Links() []Link { return t.links }
+
+// Link returns the descriptor for id.
+func (t *Topology) Link(id LinkID) Link { return t.links[id] }
+
+// EndpointOut returns the injection link of endpoint ep.
+func (t *Topology) EndpointOut(ep int) LinkID { return t.epOut[ep] }
+
+// EndpointIn returns the ejection link of endpoint ep.
+func (t *Topology) EndpointIn(ep int) LinkID { return t.epIn[ep] }
+
+// Hops returns the logical hop count (equivalently, the number of counted
+// links) for a point-to-point message from src to dst. Hops(i, i) is 0:
+// a node reaching its own memory controller does not enter the network.
+func (t *Topology) Hops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	return t.hops[src][dst]
+}
+
+// MaxHops returns the largest point-to-point hop count from src.
+func (t *Topology) MaxHops(src int) int {
+	m := 0
+	for dst := 0; dst < t.n; dst++ {
+		if h := t.Hops(src, dst); h > m {
+			m = h
+		}
+	}
+	return m
+}
+
+// MeanHops returns the mean point-to-point hop count over all ordered
+// pairs with src != dst.
+func (t *Topology) MeanHops() float64 {
+	sum, cnt := 0, 0
+	for s := 0; s < t.n; s++ {
+		for d := 0; d < t.n; d++ {
+			if s == d {
+				continue
+			}
+			sum += t.Hops(s, d)
+			cnt++
+		}
+	}
+	return float64(sum) / float64(cnt)
+}
+
+// BroadcastTree returns the broadcast tree rooted at endpoint src.
+func (t *Topology) BroadcastTree(src int) *BroadcastTree { return t.trees[src] }
+
+// BroadcastLinks returns the traffic cost (counted links) of one broadcast
+// from src.
+func (t *Topology) BroadcastLinks(src int) int { return t.trees[src].TotalLinks }
+
+// Dmax returns the maximum broadcast depth from src — the logical time a
+// transaction needs to reach its furthest destination.
+func (t *Topology) Dmax(src int) int { return t.trees[src].MaxDepth }
+
+// treeNode is scaffolding used while building broadcast trees.
+type treeNode struct {
+	vertex   Vertex
+	depth    int
+	inLink   LinkID // link by which the broadcast reaches this vertex (-1 at root)
+	children []*treeNode
+}
+
+// finishTree converts a constructed tree into a BroadcastTree, computing
+// per-branch dD values from subtree residual depths.
+func (t *Topology) finishTree(src int, root *treeNode) *BroadcastTree {
+	bt := &BroadcastTree{
+		Source: src,
+		Depth:  make([]int, t.n),
+		Route:  make(map[int][]Branch),
+	}
+	for i := range bt.Depth {
+		bt.Depth[i] = -1
+	}
+	var walk func(nd *treeNode) (int, uint64) // residual depth and endpoint reach below nd
+	walk = func(nd *treeNode) (int, uint64) {
+		var reach uint64
+		if nd.vertex.Kind == KindEndpoint && nd.inLink >= 0 {
+			bt.Depth[nd.vertex.Index] = nd.depth
+			if nd.depth > bt.MaxDepth {
+				bt.MaxDepth = nd.depth
+			}
+			if nd.vertex.Index < 64 {
+				reach |= 1 << uint(nd.vertex.Index)
+			}
+		}
+		residual := 0
+		type branchInfo struct {
+			link  LinkID
+			below int // cost(link) + residual(child)
+			reach uint64
+		}
+		var infos []branchInfo
+		for _, c := range nd.children {
+			cost := t.links[c.inLink].Cost
+			below, childReach := walk(c)
+			below += cost
+			infos = append(infos, branchInfo{link: c.inLink, below: below, reach: childReach})
+			reach |= childReach
+			if below > residual {
+				residual = below
+			}
+			if t.links[c.inLink].Counted() {
+				bt.TotalLinks++
+			}
+		}
+		if nd.vertex.Kind == KindSwitch {
+			branches := make([]Branch, 0, len(infos))
+			for _, bi := range infos {
+				branches = append(branches, Branch{Link: bi.link, DeltaD: residual - bi.below, Reach: bi.reach})
+			}
+			bt.Route[nd.vertex.Index] = branches
+		}
+		return residual, reach
+	}
+	walk(root)
+	return bt
+}
+
+// computeHops fills the endpoint-to-endpoint hop table from the broadcast
+// trees: for these topologies the broadcast tree paths are minimal, so the
+// broadcast depth equals the point-to-point hop count.
+func (t *Topology) computeHops() {
+	t.hops = make([][]int, t.n)
+	for s := 0; s < t.n; s++ {
+		t.hops[s] = make([]int, t.n)
+		for d := 0; d < t.n; d++ {
+			t.hops[s][d] = t.trees[s].Depth[d]
+		}
+	}
+}
+
+func (t *Topology) addLink(from, to Vertex, cost int) LinkID {
+	id := LinkID(len(t.links))
+	t.links = append(t.links, Link{ID: id, From: from, To: to, Cost: cost})
+	if from.Kind == KindSwitch {
+		t.switches[from.Index].Out = append(t.switches[from.Index].Out, id)
+	}
+	if to.Kind == KindSwitch {
+		t.switches[to.Index].In = append(t.switches[to.Index].In, id)
+	}
+	return id
+}
+
+// MulticastLinks returns the number of counted links a multicast from src
+// to the endpoint set mask traverses on the pruned broadcast tree (the
+// traffic cost of one multicast). Only defined for machines with at most
+// 64 endpoints.
+func (t *Topology) MulticastLinks(src int, mask uint64) int {
+	tree := t.trees[src]
+	links := 0
+	inj := t.links[t.epOut[src]]
+	if inj.Counted() {
+		links++
+	}
+	var desc func(sw int)
+	desc = func(sw int) {
+		for _, b := range tree.Route[sw] {
+			if b.Reach&mask == 0 {
+				continue
+			}
+			if t.links[b.Link].Counted() {
+				links++
+			}
+			if to := t.links[b.Link].To; to.Kind == KindSwitch {
+				desc(to.Index)
+			}
+		}
+	}
+	if to := inj.To; to.Kind == KindSwitch {
+		desc(to.Index)
+	}
+	return links
+}

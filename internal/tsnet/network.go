@@ -1,0 +1,422 @@
+// Package tsnet implements the paper's primary contribution: a broadcast
+// address network that delivers transactions as fast as the wires allow
+// and restores a total order at the endpoints using logical timestamps.
+//
+// Logical time is maintained implicitly (Section 2.2): a transaction
+// carries only a slack field; switches exchange tokens, and a switch's
+// guarantee time (GT) is the number of tokens it has propagated. The
+// in-flight slack adjustment follows the paper's recurrence
+//
+//	S_new = S_old + dGT + dD
+//
+// with three cases: +tokenCount on switch entry (tokens the transaction
+// moves past), -1 whenever the switch propagates a token past a buffered
+// transaction, and +dD per output branch of an unbalanced broadcast tree.
+// The invariant S >= 0 always holds; a zero-slack buffered transaction
+// blocks token propagation (the on-time delivery guarantee).
+//
+// Endpoints insert arriving transactions into a priority queue and process
+// them at their ordering time, identically ordered everywhere (ties broken
+// by source ID then per-source sequence).
+package tsnet
+
+import (
+	"fmt"
+
+	"tsnoop/internal/sim"
+	"tsnoop/internal/stats"
+	"tsnoop/internal/timing"
+	"tsnoop/internal/topology"
+)
+
+// Config controls the address network.
+type Config struct {
+	// Params supplies link and overhead latencies.
+	Params timing.Params
+	// InitialSlack is the non-negative slack S a source assigns at
+	// injection. "Setting S to a small positive value allows GTs to
+	// advance during moderate network contention without unduly delaying
+	// destination processing."
+	InitialSlack int
+	// TokensPerPort is the number of tokens each input port starts with
+	// (the paper: "one (or more)"). More tokens let GT run further ahead.
+	TokensPerPort int
+	// Contention, when true, serializes each switch output port: one
+	// transaction occupies an output for SerTime. The paper's evaluation
+	// runs uncontended; contention mode exercises the buffering, token
+	// passing and stall machinery (Figure 1) and is used by ablations.
+	Contention bool
+	// SerTime is the output-port occupancy per transaction under
+	// contention. Zero defaults to Params.Dswitch.
+	SerTime sim.Duration
+	// Verify enables internal assertions: every transaction must be
+	// processed at exactly its ordering time, with non-negative slack
+	// throughout. Used by tests; cheap enough to leave on.
+	Verify bool
+}
+
+// DefaultConfig returns the configuration used for the paper's
+// experiments: slack 1, one token per port, no contention modelling.
+func DefaultConfig() Config {
+	return Config{
+		Params:        timing.Default(),
+		InitialSlack:  1,
+		TokensPerPort: 1,
+		Verify:        true,
+	}
+}
+
+// OrderedHandler receives transactions in the global logical order.
+type OrderedHandler func(src int, seq uint64, payload any, arrived sim.Time)
+
+// PeekHandler observes a transaction when it arrives at an endpoint,
+// before its ordering time. Implements the paper's optimization hooks:
+// controllers may begin prefetching (optimization 1), and may return true
+// to consume the transaction early (optimization 2) when its effect is
+// order-independent (blocks in S, I, or not present). A consumed
+// transaction is not enqueued and its OrderedHandler never fires.
+//
+// slackTicks is the transaction's remaining slack at arrival: its ordering
+// time is the endpoint's current GT plus slackTicks. Protocols use it to
+// guard early consumption: consuming is only safe when no transaction this
+// node could inject from now on can possibly order before this one, i.e.
+// when slackTicks is strictly below the minimum OT distance of a fresh
+// injection (TokensPerPort*Dmax + InitialSlack).
+type PeekHandler func(src int, seq uint64, payload any, slackTicks int) (consumed bool)
+
+// otCell is shared by all broadcast copies of one transaction; under
+// Verify it checks that every endpoint computes the identical ordering
+// time, which is what guarantees the global total order.
+type otCell struct {
+	set bool
+	val uint64
+}
+
+// txn is an in-flight copy of an address transaction. Broadcast fan-out
+// duplicates the copy per branch; each copy carries its own slack. mask is
+// the destination set (all ones for a broadcast): switches prune branches
+// whose reach does not intersect it, which never changes a surviving
+// copy's path, so ordering times remain globally consistent between
+// multicasts and broadcasts.
+type txn struct {
+	src     int
+	seq     uint64
+	slack   int
+	mask    uint64
+	ot      uint64  // formula ordering time GT_src + Dmax + S (Verify only)
+	cell    *otCell // cross-endpoint ordering-time consensus (Verify only)
+	payload any
+	sent    sim.Time
+	hist    []string
+}
+
+// Network is a timestamp-snooping address network over a topology.
+type Network struct {
+	k       *sim.Kernel
+	topo    *topology.Topology
+	cfg     Config
+	traffic *stats.Traffic
+	run     *stats.Run // optional; ordering-delay and occupancy stats
+
+	switches  []*swState
+	endpoints []*epState
+	nextSeq   []uint64
+
+	started bool
+
+	// TestHook, when non-nil, observes every ordered processing event:
+	// (endpoint, source, seq, endpoint GT at processing, debug OT).
+	TestHook func(ep, src int, seq uint64, gt, ot uint64)
+}
+
+// New builds the address network. run may be nil.
+func New(k *sim.Kernel, topo *topology.Topology, cfg Config, traffic *stats.Traffic, run *stats.Run) *Network {
+	if cfg.InitialSlack < 0 {
+		panic("tsnet: negative initial slack")
+	}
+	if cfg.TokensPerPort < 1 {
+		panic("tsnet: TokensPerPort must be >= 1")
+	}
+	if cfg.SerTime == 0 {
+		cfg.SerTime = cfg.Params.Dswitch
+	}
+	n := &Network{
+		k:       k,
+		topo:    topo,
+		cfg:     cfg,
+		traffic: traffic,
+		run:     run,
+		nextSeq: make([]uint64, topo.Nodes()),
+	}
+	n.switches = make([]*swState, topo.NumSwitches())
+	for i := range n.switches {
+		n.switches[i] = newSwState(n, i)
+	}
+	n.endpoints = make([]*epState, topo.Nodes())
+	for i := range n.endpoints {
+		n.endpoints[i] = &epState{net: n, id: i}
+	}
+	return n
+}
+
+// Register installs the ordered handler (required) and the optional peek
+// handler for endpoint ep.
+func (n *Network) Register(ep int, ordered OrderedHandler, peek PeekHandler) {
+	e := n.endpoints[ep]
+	if e.handler != nil {
+		panic(fmt.Sprintf("tsnet: endpoint %d registered twice", ep))
+	}
+	e.handler = ordered
+	e.peek = peek
+}
+
+// Start seeds the initial tokens ("each node and switch begin operation
+// with one (or more) tokens on each input port") and begins logical time.
+// Call after all endpoints are registered.
+func (n *Network) Start() {
+	if n.started {
+		panic("tsnet: Start called twice")
+	}
+	n.started = true
+	for _, sw := range n.switches {
+		for _, in := range n.topo.Switches()[sw.id].In {
+			sw.tokens[in] = n.cfg.TokensPerPort
+		}
+	}
+	for _, e := range n.endpoints {
+		// Initial tokens mimic a legal snapshot of a running system: a
+		// token per input port is either in flight on a real link or
+		// standing at the next consumer. For an endpoint whose ejection
+		// link has zero cost (torus: on-die), its "in-flight" token is the
+		// standing credit already placed at its switch, so the endpoint
+		// itself starts with none; giving it one would inject a surplus
+		// token into the zero-latency loop and skew logical time.
+		if n.topo.Link(n.topo.EndpointIn(e.id)).Cost > 0 {
+			e.credits = n.cfg.TokensPerPort
+		}
+	}
+	// Kick the system: endpoints tick on their initial credits; switches
+	// attempt their first propagation.
+	n.k.At(n.k.Now(), func() {
+		for _, e := range n.endpoints {
+			for e.credits > 0 {
+				e.credits--
+				e.tick()
+			}
+		}
+		for _, sw := range n.switches {
+			sw.tryPropagate()
+		}
+	})
+}
+
+// GT returns endpoint ep's guarantee time (ticks performed).
+func (n *Network) GT(ep int) uint64 { return n.endpoints[ep].gt }
+
+// QueueLen returns the current reorder-queue depth at endpoint ep.
+func (n *Network) QueueLen(ep int) int { return n.endpoints[ep].queue.len() }
+
+// Inject broadcasts an address transaction from src. It returns the
+// per-source sequence number that, with src, names the transaction in the
+// global order. The traffic accountant is charged for the whole broadcast
+// tree at injection.
+func (n *Network) Inject(src int, payload any) uint64 {
+	return n.inject(src, ^uint64(0), payload)
+}
+
+// InjectTo multicasts an address transaction from src to the endpoint set
+// mask (a bitmask; bit i = endpoint i; machines up to 64 nodes). The
+// transaction occupies the same slot in the global logical order a
+// broadcast would — only the delivery set shrinks — so multicasts and
+// broadcasts interleave in one total order (the property multicast
+// snooping depends on). Traffic is charged for the pruned tree only.
+func (n *Network) InjectTo(src int, mask uint64, payload any) uint64 {
+	if n.topo.Nodes() > 64 {
+		panic("tsnet: multicast limited to 64 endpoints")
+	}
+	if mask == 0 {
+		panic("tsnet: empty multicast mask")
+	}
+	return n.inject(src, mask, payload)
+}
+
+func (n *Network) inject(src int, mask uint64, payload any) uint64 {
+	if !n.started {
+		panic("tsnet: Inject before Start")
+	}
+	seq := n.nextSeq[src]
+	n.nextSeq[src]++
+	tree := n.topo.BroadcastTree(src)
+	if mask == ^uint64(0) {
+		n.traffic.Add(stats.ClassRequest, tree.TotalLinks, timing.CtrlBytes)
+	} else {
+		n.traffic.Add(stats.ClassRequest, n.topo.MulticastLinks(src, mask), timing.CtrlBytes)
+	}
+
+	// With k tokens per input port, guarantee times advance k ticks per
+	// link-transit time, so the logical pipeline depth of a link is k
+	// ticks: Dmax and every dD are scaled accordingly (k=1 reproduces the
+	// paper's presentation exactly).
+	k := n.cfg.TokensPerPort
+	t := &txn{
+		src:     src,
+		seq:     seq,
+		slack:   n.cfg.InitialSlack + tree.InjectDeltaD*k,
+		mask:    mask,
+		payload: payload,
+		sent:    n.k.Now(),
+	}
+	if n.cfg.Verify {
+		// OT = GT_source + Dmax + S, in endpoint tick units. (Standing
+		// tokens on a zero-cost injection link can shift the realized
+		// ordering time by up to k ticks; arrival checks allow exactly
+		// that.)
+		t.ot = n.endpoints[src].gt + uint64(tree.MaxDepth*k) + uint64(n.cfg.InitialSlack)
+		t.cell = &otCell{}
+	}
+	n.sendOnLink(n.topo.EndpointOut(src), t)
+	return seq
+}
+
+// sendOnLink schedules delivery of a transaction copy across a link.
+func (n *Network) sendOnLink(id topology.LinkID, t *txn) {
+	l := n.topo.Link(id)
+	lat := sim.Duration(l.Cost) * n.cfg.Params.Dswitch
+	n.k.After(lat, func() {
+		if l.To.Kind == topology.KindSwitch {
+			n.switches[l.To.Index].arriveTxn(id, t)
+		} else {
+			n.endpoints[l.To.Index].arriveTxn(t)
+		}
+	})
+}
+
+// sendToken schedules delivery of one token across a link.
+func (n *Network) sendToken(id topology.LinkID) {
+	l := n.topo.Link(id)
+	lat := sim.Duration(l.Cost) * n.cfg.Params.Dswitch
+	n.k.After(lat, func() {
+		if l.To.Kind == topology.KindSwitch {
+			n.switches[l.To.Index].arriveToken(id)
+		} else {
+			n.endpoints[l.To.Index].arriveToken()
+		}
+	})
+}
+
+// epState is an endpoint network interface: a one-input, one-output node
+// that maintains its GT the same way switches do and sorts arriving
+// transactions back into the global order.
+type epState struct {
+	net     *Network
+	id      int
+	gt      uint64
+	credits int
+	queue   reorderQueue
+	handler OrderedHandler
+	peek    PeekHandler
+}
+
+func (e *epState) arriveToken() {
+	// Endpoints consume tokens immediately: each token is one GT tick.
+	e.tick()
+}
+
+// tick advances the endpoint's guarantee time by one: process every
+// transaction with ordering time strictly below the new GT, then pass a
+// token onward to the adjacent switch.
+//
+// The strict inequality implements the paper's guarantee-time definition
+// ("GT ... is guaranteed to be less than the OTs of any transactions that
+// may later be received"): a transaction whose slack reached zero in
+// flight arrives after the token that matched its ordering time but —
+// because the S >= 0 invariant stops any further token from passing it —
+// always before the next one. Draining OT < GT at each tick therefore
+// processes every transaction in a batch that is identical at every
+// endpoint; draining OT <= GT could split same-OT transactions across
+// batches differently at different endpoints and invert the tie-break
+// order.
+func (e *epState) tick() {
+	e.gt++
+	for {
+		q := e.queue.popDue(e.gt - 1)
+		if q == nil {
+			break
+		}
+		e.process(q)
+	}
+	if e.net.run != nil {
+		e.net.run.ReorderOccupancy.Set(e.net.k.Now(), e.queue.len())
+	}
+	e.net.sendToken(e.net.topo.EndpointOut(e.id))
+}
+
+func (e *epState) arriveTxn(t *txn) {
+	if t.slack < 0 {
+		panic(fmt.Sprintf("tsnet: negative slack %d at endpoint %d", t.slack, e.id))
+	}
+	due := e.gt + uint64(t.slack)
+	if e.net.cfg.Verify {
+		// Every endpoint must reconstruct the identical ordering time:
+		// this is the property that makes the reorder queues agree on a
+		// single global order.
+		if !t.cell.set {
+			t.cell.set = true
+			t.cell.val = due
+		} else if t.cell.val != due {
+			panic(fmt.Sprintf("tsnet: endpoint %d txn %d/%d ordering time %d disagrees with consensus %d (slack %d, gt %d) hist=%v",
+				e.id, t.src, t.seq, due, t.cell.val, t.slack, e.gt, t.hist))
+		}
+		// And it must match the paper's formula, shifted no later than the
+		// standing-token phase of a zero-cost injection link (at most
+		// TokensPerPort ticks) and never earlier.
+		if due < t.ot || due > t.ot+uint64(e.net.cfg.TokensPerPort) {
+			panic(fmt.Sprintf("tsnet: endpoint %d txn %d/%d due tick %d outside [OT, OT+%d], OT %d",
+				e.id, t.src, t.seq, due, e.net.cfg.TokensPerPort, t.ot))
+		}
+	}
+	if e.peek != nil {
+		if e.peek(t.src, t.seq, t.payload, t.slack) {
+			if e.net.run != nil {
+				e.net.run.EarlyProcessed++
+			}
+			return
+		}
+	}
+	q := &queued{
+		dueTick: due,
+		src:     t.src,
+		seq:     t.seq,
+		payload: t.payload,
+		arrived: e.net.k.Now(),
+	}
+	// Transactions are always enqueued and drained at tick boundaries,
+	// even when already due: processing strictly in (OT, source, sequence)
+	// key order at every endpoint guarantees the orders agree globally,
+	// which immediate on-arrival processing could violate for same-OT
+	// transactions arriving in different physical orders.
+	e.queue.push(q)
+	if e.net.run != nil {
+		e.net.run.ReorderOccupancy.Set(e.net.k.Now(), e.queue.len())
+	}
+}
+
+func (e *epState) process(q *queued) {
+	if e.net.run != nil {
+		e.net.run.OrderingDelay.Observe(e.net.k.Now() - q.arrived)
+	}
+	if e.net.TestHook != nil {
+		e.net.TestHook(e.id, q.src, q.seq, e.gt, q.dueTick)
+	}
+	if e.handler == nil {
+		panic(fmt.Sprintf("tsnet: endpoint %d has no ordered handler", e.id))
+	}
+	// Hand off to the protocol controller after the network-exit overhead
+	// (Dovh). All handoffs share the same delay, so the controller sees
+	// transactions in exactly the logical order.
+	if d := e.net.cfg.Params.Dovh; d > 0 {
+		e.net.k.After(d, func() { e.handler(q.src, q.seq, q.payload, q.arrived) })
+		return
+	}
+	e.handler(q.src, q.seq, q.payload, q.arrived)
+}

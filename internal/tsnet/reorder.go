@@ -1,0 +1,71 @@
+package tsnet
+
+import (
+	"container/heap"
+
+	"tsnoop/internal/sim"
+)
+
+// queued is one address transaction waiting at an endpoint for its
+// ordering time.
+type queued struct {
+	// dueTick is the endpoint guarantee-time tick at which the
+	// transaction's slack reaches zero: GT(arrival) + slack(arrival).
+	// Because every enqueued transaction's slack decrements together on
+	// each endpoint tick, storing the absolute due tick is equivalent to
+	// the paper's "decrement the slack of still-enqueued transactions"
+	// and avoids rekeying the whole queue every tick.
+	dueTick uint64
+	src     int
+	seq     uint64
+	payload any
+	arrived sim.Time
+}
+
+// reorderQueue is the augmented priority queue of Section 2.2's
+// destination operation: transactions are processed in (ordering time,
+// source ID, per-source sequence) order, exactly the same at every
+// endpoint, recreating snooping's total order.
+type reorderQueue struct {
+	h reorderHeap
+}
+
+type reorderHeap []*queued
+
+func (h reorderHeap) Len() int { return len(h) }
+func (h reorderHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.dueTick != b.dueTick {
+		return a.dueTick < b.dueTick
+	}
+	// "All endpoints must, in the same way, fairly order transactions that
+	// have the same OT. This is easily done by breaking ties with a
+	// function of source ID numbers."
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+func (h reorderHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *reorderHeap) Push(x any)   { *h = append(*h, x.(*queued)) }
+func (h *reorderHeap) Pop() any {
+	old := *h
+	n := len(old)
+	q := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return q
+}
+
+func (q *reorderQueue) push(e *queued) { heap.Push(&q.h, e) }
+
+// popDue removes and returns the highest-priority transaction whose due
+// tick is <= gt, or nil when none is due.
+func (q *reorderQueue) popDue(gt uint64) *queued {
+	if len(q.h) == 0 || q.h[0].dueTick > gt {
+		return nil
+	}
+	return heap.Pop(&q.h).(*queued)
+}
+
+func (q *reorderQueue) len() int { return len(q.h) }

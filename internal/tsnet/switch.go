@@ -1,0 +1,199 @@
+package tsnet
+
+import (
+	"fmt"
+
+	"tsnoop/internal/sim"
+	"tsnoop/internal/topology"
+)
+
+// bufEntry is one broadcast-branch copy of a transaction held in a
+// switch's (logically centralized) transaction buffer, waiting for its
+// output port.
+type bufEntry struct {
+	t      *txn
+	branch topology.Branch
+	slack  int
+}
+
+// swState is a network switch: token counters per input port, a
+// transaction buffer, and the token-passing logic that maintains logical
+// time. The switch is standard except for that logic, which runs in
+// parallel with normal message routing (Section 2.2).
+type swState struct {
+	net *Network
+	id  int
+
+	tokens map[topology.LinkID]int // token counter per input port
+
+	// buffered holds branch copies waiting for an output port (only
+	// non-empty in contention mode; uncontended switches are cut-through).
+	buffered []*bufEntry
+
+	// Per-output-port serialization state (contention mode).
+	nextFree map[topology.LinkID]sim.Time
+	pending  map[topology.LinkID]bool
+
+	// props counts token propagations: the switch's implicit GT.
+	props uint64
+}
+
+func newSwState(n *Network, id int) *swState {
+	return &swState{
+		net:      n,
+		id:       id,
+		tokens:   make(map[topology.LinkID]int),
+		nextFree: make(map[topology.LinkID]sim.Time),
+		pending:  make(map[topology.LinkID]bool),
+	}
+}
+
+// GT returns the switch's guarantee time (tokens propagated).
+func (s *swState) GT() uint64 { return s.props }
+
+func (s *swState) arriveToken(in topology.LinkID) {
+	s.tokens[in]++
+	s.tryPropagate()
+}
+
+// arriveTxn handles a transaction copy arriving on input port in.
+func (s *swState) arriveTxn(in topology.LinkID, t *txn) {
+	// Case 1 of the slack recurrence: entering the switch, the
+	// transaction moves past the tokens waiting on its input port, making
+	// it earlier in logical time; slack increases to hold OT invariant.
+	t.note("sw%d entry in=%d +%d -> %d @%v", s.id, in, s.tokens[in], t.slack+s.tokens[in], s.net.k.Now())
+	t.slack += s.tokens[in]
+
+	branches, ok := s.net.topo.BroadcastTree(t.src).Route[s.id]
+	if !ok {
+		panic(fmt.Sprintf("tsnet: switch %d has no route for source %d", s.id, t.src))
+	}
+	for _, b := range branches {
+		if b.Reach&t.mask == 0 {
+			continue // multicast pruning: nothing downstream is a destination
+		}
+		e := &bufEntry{t: t, branch: b, slack: t.slack}
+		if s.net.cfg.Contention {
+			s.buffered = append(s.buffered, e)
+			s.kickPort(b.Link)
+		} else {
+			// Cut-through: zero dwell time in the buffer.
+			s.depart(e)
+		}
+	}
+}
+
+// depart sends a branch copy on its output link, applying case 3 of the
+// recurrence: dD, the decrease in maximum remaining pipeline depth for
+// this branch relative to the longest branch.
+func (s *swState) depart(e *bufEntry) {
+	out := &txn{
+		src:     e.t.src,
+		seq:     e.t.seq,
+		slack:   e.slack + e.branch.DeltaD*s.net.cfg.TokensPerPort,
+		mask:    e.t.mask,
+		ot:      e.t.ot,
+		cell:    e.t.cell,
+		payload: e.t.payload,
+		sent:    e.t.sent,
+	}
+	if debugTrace {
+		out.hist = append(append([]string{}, e.t.hist...), fmt.Sprintf("sw%d depart link=%d slack=%d dD=%d -> %d @%v", s.id, e.branch.Link, e.slack, e.branch.DeltaD, out.slack, s.net.k.Now()))
+	}
+	if out.slack < 0 {
+		panic(fmt.Sprintf("tsnet: switch %d departing with negative slack %d", s.id, out.slack))
+	}
+	s.net.sendOnLink(e.branch.Link, out)
+}
+
+// kickPort schedules a service attempt for an output port (contention
+// mode). At most one attempt is pending per port.
+func (s *swState) kickPort(link topology.LinkID) {
+	if s.pending[link] {
+		return
+	}
+	s.pending[link] = true
+	now := s.net.k.Now()
+	at := s.nextFree[link]
+	if at < now {
+		at = now
+	}
+	s.net.k.At(at, func() { s.servePort(link) })
+}
+
+// servePort dequeues the highest-priority waiting copy for link and sends
+// it. "The arbitration logic gives precedence to zero-slack transactions,
+// to speed token passing" — implemented as lowest-slack-first, stable by
+// arrival.
+func (s *swState) servePort(link topology.LinkID) {
+	s.pending[link] = false
+	best := -1
+	for i, e := range s.buffered {
+		if e.branch.Link != link {
+			continue
+		}
+		if best < 0 || e.slack < s.buffered[best].slack {
+			best = i
+		}
+	}
+	if best < 0 {
+		return
+	}
+	e := s.buffered[best]
+	s.buffered = append(s.buffered[:best], s.buffered[best+1:]...)
+	s.nextFree[link] = s.net.k.Now() + s.net.cfg.SerTime
+	s.depart(e)
+	// The buffer shrank: a stalled propagation may now be possible.
+	s.tryPropagate()
+	// More work for this port?
+	for _, rest := range s.buffered {
+		if rest.branch.Link == link {
+			s.kickPort(link)
+			break
+		}
+	}
+}
+
+// tryPropagate performs as many token propagations as currently allowed.
+// A switch may propagate a token whenever it has received a token from
+// each input and all buffered transactions have non-zero slack. When it
+// propagates, it sends a token on each output, decrements the slack of all
+// buffered transactions (case 2 of the recurrence: the token moves past
+// them, making them later in logical time), and decrements every input's
+// token counter.
+func (s *swState) tryPropagate() {
+	spec := s.net.topo.Switches()[s.id]
+	for {
+		ok := true
+		for _, in := range spec.In {
+			if s.tokens[in] == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, e := range s.buffered {
+				if e.slack == 0 {
+					// The S >= 0 invariant prohibits tokens from moving
+					// past zero-slack transactions: stall GT until the
+					// transaction departs.
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			return
+		}
+		for _, in := range spec.In {
+			s.tokens[in]--
+		}
+		for _, e := range s.buffered {
+			e.slack--
+		}
+		s.props++
+		for _, out := range spec.Out {
+			s.net.sendToken(out)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package tsnet
+
+import "fmt"
+
+// debugTrace, when true, records per-hop slack adjustments on every
+// transaction copy for post-mortem analysis. Temporary.
+var debugTrace = false
+
+func (t *txn) note(format string, args ...any) {
+	if debugTrace {
+		t.hist = append(t.hist, fmt.Sprintf(format, args...))
+	}
+}
