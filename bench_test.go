@@ -1,7 +1,7 @@
 package tsnoop
 
 // The benchmark harness: one testing.B benchmark per table and figure in
-// the paper's evaluation, plus the DESIGN.md ablations and a few
+// the paper's evaluation, plus the design-knob ablations and a few
 // micro-benchmarks of the core data structures. Each figure benchmark
 // reports the paper's headline metrics via b.ReportMetric:
 //
@@ -11,6 +11,7 @@ package tsnoop
 // stays in seconds; pass -benchtime=1x to run each exactly once.
 
 import (
+	"runtime"
 	"testing"
 
 	"tsnoop/internal/cache"
@@ -25,11 +26,15 @@ import (
 )
 
 // benchExperiment is the reduced-scale setup used by the figure benches.
+// The concurrent engine is enabled (one worker per CPU); results are
+// byte-identical to a serial run, so the reported paper metrics are
+// unaffected.
 func benchExperiment() harness.Experiment {
 	e := harness.Default()
 	e.Seeds = 1
 	e.QuotaScale = 0.2
 	e.WarmupScale = 0.5
+	e.Workers = runtime.NumCPU()
 	return e
 }
 
@@ -230,6 +235,26 @@ func BenchmarkSweepBlockSize(b *testing.B) {
 		}
 	}
 }
+
+// benchGridWorkers measures one full Figure 3/4 grid regeneration at a
+// fixed worker count.
+func benchGridWorkers(b *testing.B, workers int) {
+	e := benchExperiment()
+	e.Workers = workers
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunGrid(system.NetButterfly); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunGridSerial is the serial baseline for the experiment
+// engine (Workers = 1).
+func BenchmarkRunGridSerial(b *testing.B) { benchGridWorkers(b, 1) }
+
+// BenchmarkRunGridParallel runs the same grid with one worker per CPU;
+// the ratio to BenchmarkRunGridSerial is the engine's speedup.
+func BenchmarkRunGridParallel(b *testing.B) { benchGridWorkers(b, runtime.NumCPU()) }
 
 // --- Micro-benchmarks of the core machinery ---
 

@@ -5,6 +5,8 @@
 // (single-writer/multiple-reader, memory/directory agreement with cache
 // states). Any violation aborts with a diagnostic.
 //
+// Runs fan out across -workers concurrent simulations (0 = one per CPU).
+//
 //	tscheck -seeds 20 -ops 200
 package main
 
@@ -16,6 +18,7 @@ import (
 
 	"tsnoop/internal/cache"
 	"tsnoop/internal/coherence"
+	"tsnoop/internal/parallel"
 	"tsnoop/internal/protocol/directory"
 	"tsnoop/internal/protocol/tssnoop"
 	"tsnoop/internal/sim"
@@ -31,6 +34,7 @@ func main() {
 		ops     = flag.Int("ops", 150, "accesses per processor per run")
 		blocks  = flag.Int("blocks", 8, "hot-block pool size (smaller = more contention)")
 		perturb = flag.Int64("perturb-ns", 3, "max response perturbation in ns")
+		workers = flag.Int("workers", 0, "concurrent stress runs (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -51,19 +55,34 @@ func main() {
 		{system.ProtoDirOpt, system.NetButterfly, false, false},
 		{system.ProtoDirOpt, system.NetTorus, false, false},
 	}
-	total := 0
+	// Every stress run builds its own system, so the matrix fans out
+	// across the worker pool; the first failure (in matrix order) wins.
+	type job struct {
+		name string
+		run  func() error
+	}
+	var jobs []job
 	for _, c := range combos {
 		for seed := 1; seed <= *seeds; seed++ {
-			name := fmt.Sprintf("%s/%s/mosi=%v/mcast=%v/seed=%d", c.protocol, c.network, c.mosi, c.multicast, seed)
-			if err := stress(c.protocol, c.network, c.mosi, c.multicast, uint64(seed), *ops, *blocks, *perturb); err != nil {
-				log.Printf("FAIL %s: %v", name, err)
-				os.Exit(1)
-			}
-			total++
+			jobs = append(jobs, job{
+				name: fmt.Sprintf("%s/%s/mosi=%v/mcast=%v/seed=%d", c.protocol, c.network, c.mosi, c.multicast, seed),
+				run: func() error {
+					return stress(c.protocol, c.network, c.mosi, c.multicast, uint64(seed), *ops, *blocks, *perturb)
+				},
+			})
 		}
 	}
+	if _, err := parallel.Map(*workers, len(jobs), func(i int) (struct{}, error) {
+		if err := jobs[i].run(); err != nil {
+			return struct{}{}, fmt.Errorf("%s: %w", jobs[i].name, err)
+		}
+		return struct{}{}, nil
+	}); err != nil {
+		log.Printf("FAIL %v", err)
+		os.Exit(1)
+	}
 	fmt.Printf("tscheck: %d stress runs passed (%d combos x %d seeds, %d ops/cpu, %d hot blocks)\n",
-		total, len(combos), *seeds, *ops, *blocks)
+		len(jobs), len(combos), *seeds, *ops, *blocks)
 }
 
 func stress(protocol, network string, mosi, multicast bool, seed uint64, ops, blocks int, perturbNS int64) (err error) {

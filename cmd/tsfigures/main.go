@@ -23,6 +23,7 @@ func main() {
 		seeds   = flag.Int("seeds", 3, "perturbed runs per cell (minimum reported)")
 		scale   = flag.Float64("scale", 1.0, "workload quota scale factor")
 		perturb = flag.Int64("perturb-ns", 3, "max response perturbation in ns")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -34,6 +35,7 @@ func main() {
 	e.Seeds = *seeds
 	e.QuotaScale = *scale
 	e.PerturbMax = sim.Duration(*perturb) * sim.Nanosecond
+	e.Workers = *workers
 
 	for _, net := range nets {
 		grid, err := e.RunGrid(net)

@@ -22,12 +22,14 @@ func main() {
 		benchmark = flag.String("benchmark", "barnes", "workload for measured sweeps")
 		network   = flag.String("network", "butterfly", "network for the ablation sweep")
 		scale     = flag.Float64("scale", 0.5, "workload quota scale factor")
+		workers   = flag.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
 	e := harness.Default()
 	e.Seeds = 1
 	e.QuotaScale = *scale
+	e.Workers = *workers
 
 	var out string
 	var err error

@@ -16,14 +16,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tstables: ")
 	var (
-		table = flag.Int("table", 2, "table number to regenerate (2 or 3)")
-		scale = flag.Float64("scale", 1.0, "workload quota scale factor")
+		table   = flag.Int("table", 2, "table number to regenerate (2 or 3)")
+		scale   = flag.Float64("scale", 1.0, "workload quota scale factor")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
 	switch *table {
 	case 2:
-		out, err := harness.RenderTable2()
+		out, err := harness.RenderTable2Workers(*workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -31,6 +32,7 @@ func main() {
 	case 3:
 		e := harness.Default()
 		e.QuotaScale = *scale
+		e.Workers = *workers
 		out, err := e.RenderTable3()
 		if err != nil {
 			log.Fatal(err)

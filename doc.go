@@ -5,7 +5,13 @@
 // streams, and a harness that regenerates every table and figure in the
 // paper's evaluation.
 //
+// The harness is a concurrent experiment engine: grid cells, perturbed
+// seeds, and sweep points fan out across a deterministic worker pool
+// (internal/parallel) with results collected in job order, so output is
+// byte-identical at any worker count (harness.Experiment.Workers; every
+// cmd tool exposes it as -workers).
+//
 // The public entry point is internal/core; the executables live under
-// cmd/ and runnable examples under examples/. See README.md, DESIGN.md and
-// EXPERIMENTS.md.
+// cmd/ and runnable examples under examples/. See README.md for a
+// quickstart.
 package tsnoop

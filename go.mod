@@ -1,0 +1,3 @@
+module tsnoop
+
+go 1.24

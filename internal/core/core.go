@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"tsnoop/internal/harness"
+	"tsnoop/internal/parallel"
 	"tsnoop/internal/stats"
 	"tsnoop/internal/system"
 	"tsnoop/internal/workload"
@@ -85,4 +86,33 @@ func RunBenchmark(benchmark, protocol, network string, mutate func(*Config)) (*R
 		return nil, err
 	}
 	return s.Execute(), nil
+}
+
+// RunBest executes seeds copies of one benchmark run concurrently and
+// returns the minimum-runtime run. Copy i runs with the configured Seed
+// plus i, which varies the workload reference stream and, when
+// Config.PerturbMax is set in mutate, the injected response
+// perturbation — the same per-seed scheme as harness.Experiment.RunCell
+// (an approximation of the paper's minimum-over-perturbed-runs rule;
+// Config.Seed drives both randomness sources, so the copies are not
+// perturbation-only variations of one stream). workers follows
+// harness.Experiment.Workers: 0 uses one worker per CPU, 1 is serial.
+// Results are collected in seed order, so the chosen run is independent
+// of the worker count.
+func RunBest(benchmark, protocol, network string, seeds, workers int, mutate func(*Config)) (*Run, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	runs, err := parallel.Map(workers, seeds, func(i int) (*Run, error) {
+		return RunBenchmark(benchmark, protocol, network, func(c *Config) {
+			if mutate != nil {
+				mutate(c)
+			}
+			c.Seed += uint64(i)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return harness.BestOf(runs), nil
 }

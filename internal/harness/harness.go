@@ -3,7 +3,9 @@
 // Table 2, the benchmark characterizations of Table 3, the Section 5
 // bandwidth envelope, and the sensitivity sweeps. Each regeneration
 // returns a structured result with a text rendering used by the cmd
-// tools, EXPERIMENTS.md, and the benchmark suite.
+// tools, README.md, and the benchmark suite. Experiments execute on a
+// concurrent engine (see pool.go): set Experiment.Workers to bound the
+// fan-out; output is byte-identical at any worker count.
 package harness
 
 import (
@@ -37,6 +39,12 @@ type Experiment struct {
 	QuotaScale float64
 	// WarmupScale scales the warm-up quota similarly.
 	WarmupScale float64
+	// Workers caps how many simulations the engine runs concurrently.
+	// Each cell, seed, and sweep point builds its own kernel, RNG, and
+	// system, and results are collected in job order, so any worker count
+	// produces byte-identical figures and tables. 0 (the default) uses
+	// one worker per CPU; 1 forces the serial path.
+	Workers int
 }
 
 // Default returns the experiment setup used to regenerate the paper's
@@ -73,33 +81,23 @@ func scale(v int, f float64) int {
 	return n
 }
 
-// RunCell executes one cell over the experiment's perturbed seeds and
-// returns the minimum-runtime run.
+// RunCell executes one cell over the experiment's perturbed seeds,
+// fanned out across the worker pool, and returns the minimum-runtime
+// run.
 func (e Experiment) RunCell(c Cell) (CellResult, error) {
-	var best *stats.Run
-	for seed := 0; seed < e.Seeds; seed++ {
-		gen := workload.ByName(c.Benchmark, e.Nodes)
-		if gen == nil {
-			return CellResult{}, fmt.Errorf("harness: unknown benchmark %q", c.Benchmark)
-		}
-		cfg := system.DefaultConfig(c.Protocol, c.Network)
-		cfg.Nodes = e.Nodes
-		cfg.WarmupPerCPU = scale(cfg.WarmupPerCPU, e.WarmupScale)
-		cfg.MeasurePerCPU = scale(workload.MeasureQuota(c.Benchmark), e.QuotaScale)
-		cfg.Seed = uint64(seed + 1)
-		if e.Seeds > 1 {
-			cfg.PerturbMax = e.PerturbMax
-		}
-		s, err := system.Build(cfg, gen)
-		if err != nil {
-			return CellResult{}, err
-		}
-		run := s.Execute()
-		if best == nil || run.Runtime < best.Runtime {
-			best = run
-		}
+	gen, err := lookupGen(c.Benchmark, e.Nodes)
+	if err != nil {
+		return CellResult{}, err
 	}
-	return CellResult{Cell: c, Best: best}, nil
+	jobs := make([]seedJob, e.seeds())
+	for seed := range jobs {
+		jobs[seed] = seedJob{cell: c, gen: gen, seed: seed}
+	}
+	runs, err := e.runSeedJobs(jobs)
+	if err != nil {
+		return CellResult{}, err
+	}
+	return CellResult{Cell: c, Best: BestOf(runs)}, nil
 }
 
 // Grid holds one network's full benchmark x protocol results.
@@ -109,18 +107,36 @@ type Grid struct {
 	Cells map[string]map[string]CellResult
 }
 
-// RunGrid executes every benchmark x protocol cell for one network.
+// RunGrid executes every benchmark x protocol cell for one network. The
+// full benchmark x protocol x seed job list runs on the worker pool, so
+// no worker idles waiting for a slow cell to finish its seeds.
 func (e Experiment) RunGrid(network string) (*Grid, error) {
-	g := &Grid{Network: network, Cells: map[string]map[string]CellResult{}}
+	seeds := e.seeds()
+	var cells []Cell
+	var jobs []seedJob
 	for _, b := range workload.Names() {
-		g.Cells[b] = map[string]CellResult{}
-		for _, p := range Protocols {
-			res, err := e.RunCell(Cell{Benchmark: b, Protocol: p, Network: network})
-			if err != nil {
-				return nil, err
-			}
-			g.Cells[b][p] = res
+		gen, err := lookupGen(b, e.Nodes)
+		if err != nil {
+			return nil, err
 		}
+		for _, p := range Protocols {
+			c := Cell{Benchmark: b, Protocol: p, Network: network}
+			cells = append(cells, c)
+			for seed := 0; seed < seeds; seed++ {
+				jobs = append(jobs, seedJob{cell: c, gen: gen, seed: seed})
+			}
+		}
+	}
+	runs, err := e.runSeedJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	g := &Grid{Network: network, Cells: map[string]map[string]CellResult{}}
+	for i, c := range cells {
+		if g.Cells[c.Benchmark] == nil {
+			g.Cells[c.Benchmark] = map[string]CellResult{}
+		}
+		g.Cells[c.Benchmark][c.Protocol] = CellResult{Cell: c, Best: BestOf(runs[i*seeds : (i+1)*seeds])}
 	}
 	return g, nil
 }

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"tsnoop/internal/system"
+	"tsnoop/internal/workload"
+)
+
+// tiny returns a minimum-scale experiment: equivalence is a structural
+// property of the engine, so the smallest runs that still exercise every
+// protocol path suffice.
+func tiny() Experiment {
+	e := Default()
+	e.Seeds = 1
+	e.QuotaScale = 0.05
+	e.WarmupScale = 0.04
+	return e
+}
+
+// equivalencePair returns the same experiment configured for the serial
+// path and for the worker pool. The pool side always uses several
+// workers — even on a single-CPU machine the goroutines interleave, so
+// the pooled scheduling and ordered collection are genuinely exercised.
+func equivalencePair(e Experiment) (serial, par Experiment) {
+	serial, par = e, e
+	serial.Workers = 1
+	par.Workers = runtime.NumCPU()
+	if par.Workers < 4 {
+		par.Workers = 4
+	}
+	return serial, par
+}
+
+// The acceptance property of the concurrent engine: a parallel grid run
+// produces cell-by-cell identical stats.Run results and byte-identical
+// figure renderings.
+func TestParallelGridMatchesSerial(t *testing.T) {
+	e := tiny()
+	e.Seeds = 2
+	serial, par := equivalencePair(e)
+
+	gs, err := serial.RunGrid(system.NetButterfly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := par.RunGrid(system.NetButterfly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range workload.Names() {
+		for _, proto := range Protocols {
+			rs := gs.Cells[bench][proto].Best
+			rp := gp.Cells[bench][proto].Best
+			if !reflect.DeepEqual(*rs, *rp) {
+				t.Errorf("%s/%s: parallel run differs from serial:\nserial:   %+v\nparallel: %+v",
+					bench, proto, *rs, *rp)
+			}
+		}
+	}
+	if f3s, f3p := gs.Figure3(), gp.Figure3(); f3s != f3p {
+		t.Errorf("Figure3 not byte-identical:\nserial:\n%s\nparallel:\n%s", f3s, f3p)
+	}
+	if f4s, f4p := gs.Figure4(), gp.Figure4(); f4s != f4p {
+		t.Errorf("Figure4 not byte-identical:\nserial:\n%s\nparallel:\n%s", f4s, f4p)
+	}
+}
+
+func TestParallelRunCellMatchesSerial(t *testing.T) {
+	e := tiny()
+	e.Seeds = 3
+	serial, par := equivalencePair(e)
+	c := Cell{Benchmark: "barnes", Protocol: system.ProtoTSSnoop, Network: system.NetTorus}
+
+	rs, err := serial.RunCell(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := par.RunCell(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*rs.Best, *rp.Best) {
+		t.Errorf("best runs differ:\nserial:   %+v\nparallel: %+v", *rs.Best, *rp.Best)
+	}
+}
+
+func TestParallelSweepsMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs")
+	}
+	e := tiny()
+	e.QuotaScale = 0.03
+	serial, par := equivalencePair(e)
+
+	renders := []struct {
+		name string
+		run  func(Experiment) (string, error)
+	}{
+		{"NodesSweep", func(x Experiment) (string, error) { return x.NodesSweep("barnes") }},
+		{"BlockSizeSweep", func(x Experiment) (string, error) { return x.BlockSizeSweep("barnes") }},
+		{"AblationReport", func(x Experiment) (string, error) { return x.AblationReport("barnes", system.NetTorus) }},
+		{"RenderTable3", Experiment.RenderTable3},
+	}
+	for _, r := range renders {
+		ss, err := r.run(serial)
+		if err != nil {
+			t.Fatalf("%s serial: %v", r.name, err)
+		}
+		pp, err := r.run(par)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", r.name, err)
+		}
+		if ss != pp {
+			t.Errorf("%s not byte-identical:\nserial:\n%s\nparallel:\n%s", r.name, ss, pp)
+		}
+	}
+}
+
+// The sweep nil-check bugfix: an unknown benchmark must surface as an
+// error from every sweep entry point, not a panic.
+func TestSweepsRejectUnknownBenchmark(t *testing.T) {
+	e := tiny()
+	if _, err := e.NodesSweep("specjbb"); err == nil {
+		t.Error("NodesSweep accepted unknown benchmark")
+	}
+	if _, err := e.BlockSizeSweep("specjbb"); err == nil {
+		t.Error("BlockSizeSweep accepted unknown benchmark")
+	}
+	if _, err := e.AblationReport("specjbb", system.NetTorus); err == nil {
+		t.Error("AblationReport accepted unknown benchmark")
+	}
+}

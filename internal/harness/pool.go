@@ -1,0 +1,114 @@
+package harness
+
+// This file is the concurrent experiment engine. Every grid cell,
+// perturbed seed, and sweep point builds its own sim.Kernel, RNG, and
+// system.System, so runs are independent and fan out across a worker
+// pool (internal/parallel). Jobs are enumerated in the serial
+// presentation order and results are collected by index, which keeps
+// every figure and table rendering byte-identical to a Workers=1 run.
+
+import (
+	"fmt"
+
+	"tsnoop/internal/parallel"
+	"tsnoop/internal/stats"
+	"tsnoop/internal/system"
+	"tsnoop/internal/workload"
+)
+
+// workers resolves the experiment's Workers knob (0 = one per CPU).
+func (e Experiment) workers() int { return parallel.Workers(e.Workers) }
+
+// seeds normalizes the Seeds knob: anything below 1 means a single
+// unperturbed run, so a zero-valued Experiment still renders figures.
+func (e Experiment) seeds() int {
+	if e.Seeds < 1 {
+		return 1
+	}
+	return e.Seeds
+}
+
+// seedJob is one simulation in a grid run: a cell plus a perturbation
+// seed. The generator is cloned per job so concurrent jobs never share
+// workload state.
+type seedJob struct {
+	cell Cell
+	gen  *workload.Synthetic
+	seed int
+}
+
+// runSeedJobs executes jobs across the pool, results in job order.
+func (e Experiment) runSeedJobs(jobs []seedJob) ([]*stats.Run, error) {
+	return parallel.Map(e.workers(), len(jobs), func(i int) (*stats.Run, error) {
+		j := jobs[i]
+		return e.runSeed(j.cell, j.gen.Clone(), j.seed)
+	})
+}
+
+// baseConfig derives the scaled machine configuration every execution
+// path (grid cells, sweep points, Table 3) starts from, so the quota
+// and warm-up rules cannot drift between them.
+func (e Experiment) baseConfig(bench, proto, network string) system.Config {
+	cfg := system.DefaultConfig(proto, network)
+	cfg.Nodes = e.Nodes
+	cfg.WarmupPerCPU = scale(cfg.WarmupPerCPU, e.WarmupScale)
+	cfg.MeasurePerCPU = scale(workload.MeasureQuota(bench), e.QuotaScale)
+	return cfg
+}
+
+// runSeed executes one perturbed run of a cell on a fresh generator.
+func (e Experiment) runSeed(c Cell, gen workload.Generator, seed int) (*stats.Run, error) {
+	cfg := e.baseConfig(c.Benchmark, c.Protocol, c.Network)
+	cfg.Seed = uint64(seed + 1)
+	if e.Seeds > 1 {
+		cfg.PerturbMax = e.PerturbMax
+	}
+	s, err := system.Build(cfg, gen)
+	if err != nil {
+		return nil, err
+	}
+	return s.Execute(), nil
+}
+
+// BestOf picks the minimum-runtime run — the paper's reporting rule ("we
+// report the minimum run time from a set of runs") — keeping the
+// earliest run on ties. Returns nil for no runs.
+func BestOf(runs []*stats.Run) *stats.Run {
+	var best *stats.Run
+	for _, r := range runs {
+		if best == nil || r.Runtime < best.Runtime {
+			best = r
+		}
+	}
+	return best
+}
+
+// pointSpec is one sweep measurement: a labelled (benchmark, protocol,
+// network) point with an optional config mutation, run under exp (sweeps
+// override fields such as Nodes per point).
+type pointSpec struct {
+	exp     Experiment
+	label   string
+	bench   string
+	proto   string
+	network string
+	mutate  func(*system.Config)
+}
+
+// runPoints evaluates the specs across the pool, results in spec order.
+func (e Experiment) runPoints(specs []pointSpec) ([]SweepPoint, error) {
+	return parallel.Map(e.workers(), len(specs), func(i int) (SweepPoint, error) {
+		s := specs[i]
+		return s.exp.runPoint(s.label, s.bench, s.proto, s.network, s.mutate)
+	})
+}
+
+// lookupGen is ByName with the error the harness reports for unknown
+// benchmark names.
+func lookupGen(name string, nodes int) (*workload.Synthetic, error) {
+	gen := workload.ByName(name, nodes)
+	if gen == nil {
+		return nil, fmt.Errorf("harness: unknown benchmark %q", name)
+	}
+	return gen, nil
+}

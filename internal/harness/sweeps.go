@@ -20,11 +20,11 @@ type SweepPoint struct {
 // runPoint executes one configuration for one protocol with DSS-like
 // default settings on a chosen benchmark.
 func (e Experiment) runPoint(label, bench, proto, network string, mutate func(*system.Config)) (SweepPoint, error) {
-	gen := workload.ByName(bench, e.Nodes)
-	cfg := system.DefaultConfig(proto, network)
-	cfg.Nodes = e.Nodes
-	cfg.WarmupPerCPU = scale(cfg.WarmupPerCPU, e.WarmupScale)
-	cfg.MeasurePerCPU = scale(workload.MeasureQuota(bench), e.QuotaScale)
+	gen, err := lookupGen(bench, e.Nodes)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	cfg := e.baseConfig(bench, proto, network)
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -50,49 +50,56 @@ func (e Experiment) runPoint(label, bench, proto, network string, mutate func(*s
 // directory protocols ... become increasingly attractive"). It returns the
 // TS/DirOpt traffic ratio per machine size on the butterfly.
 func (e Experiment) NodesSweep(bench string) (string, error) {
+	sizes := []int{4, 16, 64}
+	var specs []pointSpec
+	for _, nodes := range sizes {
+		exp := e
+		exp.Nodes = nodes
+		label := fmt.Sprintf("n%d", nodes)
+		specs = append(specs,
+			pointSpec{exp: exp, label: label, bench: bench, proto: system.ProtoTSSnoop, network: system.NetButterfly},
+			pointSpec{exp: exp, label: label, bench: bench, proto: system.ProtoDirOpt, network: system.NetButterfly})
+	}
+	pts, err := e.runPoints(specs)
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Machine-size sweep (%s, butterfly): TS-Snoop vs DirOpt\n", bench)
 	fmt.Fprintf(&b, "%6s %16s %16s %14s\n", "nodes", "runtime-ratio", "traffic-ratio", "TS 3-hop(%)")
-	prevRatio := 0.0
-	for _, nodes := range []int{4, 16, 64} {
-		exp := e
-		exp.Nodes = nodes
-		ts, err := exp.runPoint(fmt.Sprintf("n%d", nodes), bench, system.ProtoTSSnoop, system.NetButterfly, nil)
-		if err != nil {
-			return "", err
-		}
-		dir, err := exp.runPoint(fmt.Sprintf("n%d", nodes), bench, system.ProtoDirOpt, system.NetButterfly, nil)
-		if err != nil {
-			return "", err
-		}
-		trafficRatio := float64(ts.LinkBytes) / float64(dir.LinkBytes)
+	for i, nodes := range sizes {
+		ts, dir := pts[2*i], pts[2*i+1]
 		fmt.Fprintf(&b, "%6d %16.3f %16.3f %13.0f%%\n",
-			nodes, float64(dir.RuntimePS)/float64(ts.RuntimePS), trafficRatio, ts.ThreeHopPc)
-		prevRatio = trafficRatio
+			nodes, float64(dir.RuntimePS)/float64(ts.RuntimePS),
+			float64(ts.LinkBytes)/float64(dir.LinkBytes), ts.ThreeHopPc)
 	}
-	_ = prevRatio
 	return b.String(), nil
 }
 
 // BlockSizeSweep measures the effect of doubling the block size (Section
 // 5: the extra-bandwidth bound drops from 60% to 33% on the butterfly).
 func (e Experiment) BlockSizeSweep(bench string) (string, error) {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Block-size sweep (%s, butterfly): TS-Snoop traffic vs DirOpt\n", bench)
-	fmt.Fprintf(&b, "%7s %16s %18s\n", "block", "traffic-ratio", "analytic bound")
-	for _, block := range []int{64, 128} {
+	blocks := []int{64, 128}
+	var specs []pointSpec
+	for _, block := range blocks {
 		mutate := func(c *system.Config) {
 			c.Cache.BlockBytes = block
 			c.Cache.SizeBytes = 4 << 20
 		}
-		ts, err := e.runPoint(fmt.Sprintf("b%d", block), bench, system.ProtoTSSnoop, system.NetButterfly, mutate)
-		if err != nil {
-			return "", err
-		}
-		dir, err := e.runPoint(fmt.Sprintf("b%d", block), bench, system.ProtoDirOpt, system.NetButterfly, mutate)
-		if err != nil {
-			return "", err
-		}
+		label := fmt.Sprintf("b%d", block)
+		specs = append(specs,
+			pointSpec{exp: e, label: label, bench: bench, proto: system.ProtoTSSnoop, network: system.NetButterfly, mutate: mutate},
+			pointSpec{exp: e, label: label, bench: bench, proto: system.ProtoDirOpt, network: system.NetButterfly, mutate: mutate})
+	}
+	pts, err := e.runPoints(specs)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Block-size sweep (%s, butterfly): TS-Snoop traffic vs DirOpt\n", bench)
+	fmt.Fprintf(&b, "%7s %16s %18s\n", "block", "traffic-ratio", "analytic bound")
+	for i, block := range blocks {
+		ts, dir := pts[2*i], pts[2*i+1]
 		env, err := Envelope(system.NetButterfly, e.Nodes, block)
 		if err != nil {
 			return "", err
@@ -103,8 +110,8 @@ func (e Experiment) BlockSizeSweep(bench string) (string, error) {
 	return b.String(), nil
 }
 
-// AblationReport compares the timestamp-snooping design knobs called out
-// in DESIGN.md: initial slack, prefetch (optimization 1), early processing
+// AblationReport compares the timestamp-snooping design knobs: initial
+// slack, prefetch (optimization 1), early processing
 // (optimization 2), and tokens per port.
 func (e Experiment) AblationReport(bench, network string) (string, error) {
 	type knob struct {
@@ -124,15 +131,19 @@ func (e Experiment) AblationReport(bench, network string) (string, error) {
 		{"multicast + MOSI", func(c *system.Config) { c.Multicast = true; c.UseOwnedState = true }},
 		{"contention modelled", func(c *system.Config) { c.Contention = true }},
 	}
+	specs := make([]pointSpec, len(knobs))
+	for i, k := range knobs {
+		specs[i] = pointSpec{exp: e, label: k.label, bench: bench, proto: system.ProtoTSSnoop, network: network, mutate: k.mutate}
+	}
+	pts, err := e.runPoints(specs)
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "TS-Snoop ablations (%s, %s)\n", bench, network)
 	fmt.Fprintf(&b, "%-38s %14s %16s\n", "variant", "runtime", "link bytes")
-	for _, k := range knobs {
-		pt, err := e.runPoint(k.label, bench, system.ProtoTSSnoop, network, k.mutate)
-		if err != nil {
-			return "", err
-		}
-		fmt.Fprintf(&b, "%-38s %14d %16d\n", k.label, pt.RuntimePS, pt.LinkBytes)
+	for _, pt := range pts {
+		fmt.Fprintf(&b, "%-38s %14d %16d\n", pt.Label, pt.RuntimePS, pt.LinkBytes)
 	}
 	return b.String(), nil
 }

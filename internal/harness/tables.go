@@ -6,6 +6,7 @@ import (
 
 	"tsnoop/internal/cache"
 	"tsnoop/internal/coherence"
+	"tsnoop/internal/parallel"
 	"tsnoop/internal/protocol/directory"
 	"tsnoop/internal/protocol/tssnoop"
 	"tsnoop/internal/sim"
@@ -87,8 +88,13 @@ func meanOverPairs(nodes int, f func(req, partner, trial int) sim.Time) sim.Time
 }
 
 // Table2 regenerates the unloaded-latency table for one network by both
-// computing the paper's formulas and measuring the protocols.
-func Table2(network string) ([]Table2Row, error) {
+// computing the paper's formulas and measuring the protocols, probing
+// with one worker per CPU.
+func Table2(network string) ([]Table2Row, error) { return Table2Workers(network, 0) }
+
+// Table2Workers is Table2 with an explicit probe-worker bound (0 = one
+// per CPU, 1 = serial). Every worker count measures identical rows.
+func Table2Workers(network string, workers int) ([]Table2Row, error) {
 	params := timing.Default()
 	var topo *topology.Topology
 	var err error
@@ -109,37 +115,53 @@ func Table2(network string) ([]Table2Row, error) {
 	nodes := topo.Nodes()
 	dnet := params.Dnet(meanHops)
 
-	// Memory latency measured on the directory protocol (its request and
-	// response paths are exact).
-	dir := newProbe(topo, system.ProtoDirOpt, params)
-	memMeasured := meanOverPairs(nodes, func(req, home, trial int) sim.Time {
-		return dir.access(req, coherence.Load, blockFor(home, trial, nodes))
+	// The three measurements drive independent probe kernels, so they run
+	// concurrently; each closure owns its probe environment.
+	probes := []func() sim.Time{
+		// Memory latency measured on the directory protocol (its request
+		// and response paths are exact).
+		func() sim.Time {
+			dir := newProbe(topo, system.ProtoDirOpt, params)
+			return meanOverPairs(nodes, func(req, home, trial int) sim.Time {
+				return dir.access(req, coherence.Load, blockFor(home, trial, nodes))
+			})
+		},
+		// Directory 3-hop: owner takes M first, then the requester loads.
+		func() sim.Time {
+			dir3 := newProbe(topo, system.ProtoDirOpt, params)
+			return meanOverPairs(nodes, func(req, owner, trial int) sim.Time {
+				home := (owner + 5) % nodes // a third party (wraps over all homes)
+				if home == req {
+					home = (home + 1) % nodes
+				}
+				b := blockFor(home, 1000+trial, nodes)
+				dir3.access(owner, coherence.Store, b)
+				dir3.settle(sim.Microsecond)
+				return dir3.access(req, coherence.Load, b)
+			})
+		},
+		// Timestamp snooping cache-to-cache.
+		func() sim.Time {
+			ts := newProbe(topo, system.ProtoTSSnoop, params)
+			return meanOverPairs(nodes, func(req, owner, trial int) sim.Time {
+				home := (owner + 5) % nodes
+				if home == req {
+					home = (home + 1) % nodes
+				}
+				b := blockFor(home, 2000+trial, nodes)
+				ts.access(owner, coherence.Store, b)
+				ts.settle(sim.Microsecond)
+				return ts.access(req, coherence.Load, b)
+			})
+		},
+	}
+	measured, err := parallel.Map(workers, len(probes), func(i int) (sim.Time, error) {
+		return probes[i](), nil
 	})
-	// Directory 3-hop: owner takes M first, then the requester loads.
-	dir3 := newProbe(topo, system.ProtoDirOpt, params)
-	threeHopMeasured := meanOverPairs(nodes, func(req, owner, trial int) sim.Time {
-		home := (owner + 5) % nodes // a third party (wraps over all homes)
-		if home == req {
-			home = (home + 1) % nodes
-		}
-		b := blockFor(home, 1000+trial, nodes)
-		dir3.access(owner, coherence.Store, b)
-		dir3.settle(sim.Microsecond)
-		return dir3.access(req, coherence.Load, b)
-	})
-
-	// Timestamp snooping cache-to-cache.
-	ts := newProbe(topo, system.ProtoTSSnoop, params)
-	tsC2CMeasured := meanOverPairs(nodes, func(req, owner, trial int) sim.Time {
-		home := (owner + 5) % nodes
-		if home == req {
-			home = (home + 1) % nodes
-		}
-		b := blockFor(home, 2000+trial, nodes)
-		ts.access(owner, coherence.Store, b)
-		ts.settle(sim.Microsecond)
-		return ts.access(req, coherence.Load, b)
-	})
+	if err != nil {
+		return nil, err
+	}
+	memMeasured, threeHopMeasured, tsC2CMeasured := measured[0], measured[1], measured[2]
 
 	rows := []Table2Row{
 		{Desc: "One-way latency (Dnet)", Analytic: dnet, Measured: dnet},
@@ -151,11 +173,17 @@ func Table2(network string) ([]Table2Row, error) {
 	return rows, nil
 }
 
-// RenderTable2 renders both networks' Table 2 rows.
-func RenderTable2() (string, error) {
+// RenderTable2 renders both networks' Table 2 rows, probing with one
+// worker per CPU.
+func RenderTable2() (string, error) { return RenderTable2Workers(0) }
+
+// RenderTable2Workers is RenderTable2 with an explicit worker bound
+// (0 = one per CPU, 1 = serial). The networks render sequentially so
+// the bound caps total concurrent probes rather than multiplying.
+func RenderTable2Workers(workers int) (string, error) {
 	var b strings.Builder
 	for _, net := range Networks {
-		rows, err := Table2(net)
+		rows, err := Table2Workers(net, workers)
 		if err != nil {
 			return "", err
 		}
@@ -180,28 +208,29 @@ type Table3Row struct {
 // Table3 measures the benchmark characteristics on the butterfly with
 // DirOpt (the paper reports protocol-averaged values; variation across
 // protocols is negligible because the reference streams are identical).
+// The benchmarks run concurrently on the worker pool.
 func (e Experiment) Table3() ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, name := range workload.Names() {
-		gen := workload.ByName(name, e.Nodes)
-		cfg := system.DefaultConfig(system.ProtoDirOpt, system.NetButterfly)
-		cfg.Nodes = e.Nodes
-		cfg.WarmupPerCPU = scale(cfg.WarmupPerCPU, e.WarmupScale)
-		cfg.MeasurePerCPU = scale(workload.MeasureQuota(name), e.QuotaScale)
+	names := workload.Names()
+	return parallel.Map(e.workers(), len(names), func(i int) (Table3Row, error) {
+		name := names[i]
+		gen, err := lookupGen(name, e.Nodes)
+		if err != nil {
+			return Table3Row{}, err
+		}
+		cfg := e.baseConfig(name, system.ProtoDirOpt, system.NetButterfly)
 		s, err := system.Build(cfg, gen)
 		if err != nil {
-			return nil, err
+			return Table3Row{}, err
 		}
 		run := s.Execute()
-		rows = append(rows, Table3Row{
+		return Table3Row{
 			Benchmark:   name,
 			FootprintMB: float64(gen.FootprintBytes()) / (1 << 20),
 			TouchedMB:   float64(run.DataTouched) / (1 << 20),
 			TotalMisses: run.TotalMisses(),
 			ThreeHopPct: 100 * run.CacheToCacheFraction(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderTable3 renders Table 3.

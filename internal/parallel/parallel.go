@@ -1,0 +1,79 @@
+// Package parallel provides the deterministic worker-pool primitive
+// behind the experiment engine: jobs are indexed, fan out across a
+// bounded set of goroutines, and results are collected in index order, so
+// a parallel run renders byte-identically to a serial one. Simulations
+// are safe to fan out because every job builds its own kernel, RNG, and
+// system; the pool only supplies scheduling and ordered collection.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values below 1 mean one worker
+// per CPU.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// Map evaluates fn(0) .. fn(n-1) across at most workers goroutines and
+// returns the results in index order. workers below 1 uses one worker per
+// CPU; one worker degenerates to a plain serial loop.
+//
+// On failure Map returns the error from the lowest failing index, and
+// jobs not yet claimed are skipped. The reported error is still
+// independent of goroutine scheduling: indexes are claimed in increasing
+// order, so by the time any job fails, every lower-indexed job — in
+// particular the lowest one that would fail — has already started and
+// will record its error before Map returns.
+func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if workers = Workers(workers); workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := range out {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

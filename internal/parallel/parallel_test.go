@@ -1,0 +1,113 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Errorf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != runtime.NumCPU() {
+		t.Errorf("Workers(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 16} {
+		out, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(int) (string, error) { return "x", nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: %v, %v", out, err)
+	}
+}
+
+func TestMapRunsEveryJobExactlyOnce(t *testing.T) {
+	var counts [200]atomic.Int32
+	if _, err := Map(8, len(counts), func(i int) (struct{}, error) {
+		counts[i].Add(1)
+		return struct{}{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Errorf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	// Fail indexes 7 and 3; the reported error must be index 3's no matter
+	// how the goroutines interleave.
+	for trial := 0; trial < 20; trial++ {
+		_, err := Map(4, 10, func(i int) (int, error) {
+			if i == 3 || i == 7 {
+				return 0, fmt.Errorf("boom %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "boom 3" {
+			t.Fatalf("trial %d: err = %v, want boom 3", trial, err)
+		}
+	}
+}
+
+func TestMapSerialStopsAtFirstError(t *testing.T) {
+	ran := 0
+	_, err := Map(1, 10, func(i int) (int, error) {
+		ran++
+		if i == 2 {
+			return 0, errors.New("stop")
+		}
+		return i, nil
+	})
+	if err == nil || ran != 3 {
+		t.Fatalf("serial path ran %d jobs (err %v), want fail-fast at 3", ran, err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	if _, err := Map(workers, 50, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}

@@ -53,6 +53,10 @@ type Config struct {
 	// processed at exactly its ordering time, with non-negative slack
 	// throughout. Used by tests; cheap enough to leave on.
 	Verify bool
+	// Trace records per-hop slack adjustments on every transaction copy;
+	// the history is attached to ordering-consensus panic messages.
+	// Debugging aid, off by default.
+	Trace bool
 }
 
 // DefaultConfig returns the configuration used for the paper's

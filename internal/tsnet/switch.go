@@ -61,7 +61,9 @@ func (s *swState) arriveTxn(in topology.LinkID, t *txn) {
 	// Case 1 of the slack recurrence: entering the switch, the
 	// transaction moves past the tokens waiting on its input port, making
 	// it earlier in logical time; slack increases to hold OT invariant.
-	t.note("sw%d entry in=%d +%d -> %d @%v", s.id, in, s.tokens[in], t.slack+s.tokens[in], s.net.k.Now())
+	if s.net.cfg.Trace {
+		t.hist = append(t.hist, fmt.Sprintf("sw%d entry in=%d +%d -> %d @%v", s.id, in, s.tokens[in], t.slack+s.tokens[in], s.net.k.Now()))
+	}
 	t.slack += s.tokens[in]
 
 	branches, ok := s.net.topo.BroadcastTree(t.src).Route[s.id]
@@ -97,7 +99,7 @@ func (s *swState) depart(e *bufEntry) {
 		payload: e.t.payload,
 		sent:    e.t.sent,
 	}
-	if debugTrace {
+	if s.net.cfg.Trace {
 		out.hist = append(append([]string{}, e.t.hist...), fmt.Sprintf("sw%d depart link=%d slack=%d dD=%d -> %d @%v", s.id, e.branch.Link, e.slack, e.branch.DeltaD, out.slack, s.net.k.Now()))
 	}
 	if out.slack < 0 {

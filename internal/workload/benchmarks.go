@@ -168,7 +168,8 @@ func Uniform(blocks int, writeFrac float64, meanThink float64, cpus int) *Synthe
 }
 
 // ByName returns a fresh generator for a paper benchmark name, or nil for
-// an unknown name. Generators are stateful; every run needs a fresh one.
+// an unknown name. Generators are stateful; every run needs a fresh one
+// (build one per run, or Clone a looked-up generator).
 func ByName(name string, cpus int) *Synthetic {
 	switch name {
 	case "OLTP":

@@ -228,3 +228,12 @@ func (g *Synthetic) Next(cpu int, r *sim.Rand) Access {
 
 // Profile returns a copy of the generator's profile (calibration tooling).
 func (g *Synthetic) Profile() Profile { return g.prof }
+
+// Clone returns an identically configured generator with fresh per-CPU
+// state. Generators are stateful, so every simulation needs its own;
+// cloning lets one ByName lookup feed many (possibly concurrent) runs.
+func (g *Synthetic) Clone() *Synthetic {
+	c := *g
+	c.state = make([]cpuState, g.cpus)
+	return &c
+}
