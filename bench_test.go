@@ -11,6 +11,7 @@ package tsnoop
 // stays in seconds; pass -benchtime=1x to run each exactly once.
 
 import (
+	"bytes"
 	"runtime"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"tsnoop/internal/stats"
 	"tsnoop/internal/system"
 	"tsnoop/internal/topology"
+	"tsnoop/internal/trace"
 	"tsnoop/internal/tsnet"
 	"tsnoop/internal/workload"
 )
@@ -145,7 +147,10 @@ func BenchmarkEnvelope(b *testing.B) {
 func benchAblation(b *testing.B, mutate func(*system.Config)) {
 	e := benchExperiment()
 	for i := 0; i < b.N; i++ {
-		gen := workload.ByName("barnes", 16)
+		gen, err := workload.ByName("barnes", 16)
+		if err != nil {
+			b.Fatal(err)
+		}
 		cfg := system.DefaultConfig(system.ProtoTSSnoop, system.NetTorus)
 		cfg.WarmupPerCPU = 1000
 		cfg.MeasurePerCPU = 1000
@@ -255,6 +260,72 @@ func BenchmarkRunGridSerial(b *testing.B) { benchGridWorkers(b, 1) }
 // BenchmarkRunGridParallel runs the same grid with one worker per CPU;
 // the ratio to BenchmarkRunGridSerial is the engine's speedup.
 func BenchmarkRunGridParallel(b *testing.B) { benchGridWorkers(b, runtime.NumCPU()) }
+
+// --- Trace codec throughput ---
+
+// benchCaptureTrace records a 16-CPU barnes trace spanning several
+// chunks per stream, the working set for the codec benchmarks.
+func benchCaptureTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	gen, err := workload.ByName("barnes", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return trace.Capture(gen, 16, 1, trace.ChunkLen/2, 2*trace.ChunkLen)
+}
+
+// benchTraceEncode measures encode throughput at a fixed worker count.
+// MB/s is encoded file bytes out; accesses/s is the stream rate in.
+func benchTraceEncode(b *testing.B, workers int) {
+	t := benchCaptureTrace(b)
+	var buf bytes.Buffer
+	if err := trace.Encode(t, &buf, workers); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := trace.Encode(t, &buf, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(t.Accesses())*float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// benchTraceDecode measures decode throughput at a fixed worker count.
+// MB/s is encoded file bytes in; accesses/s is the stream rate out.
+func benchTraceDecode(b *testing.B, workers int) {
+	t := benchCaptureTrace(b)
+	var buf bytes.Buffer
+	if err := trace.Encode(t, &buf, workers); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Decode(data, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(t.Accesses())*float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// BenchmarkTraceEncodeSerial encodes with a single worker.
+func BenchmarkTraceEncodeSerial(b *testing.B) { benchTraceEncode(b, 1) }
+
+// BenchmarkTraceEncodeParallel encodes chunk batches across the pool;
+// the ratio to the serial bench is the codec's encode speedup.
+func BenchmarkTraceEncodeParallel(b *testing.B) { benchTraceEncode(b, runtime.NumCPU()) }
+
+// BenchmarkTraceDecodeSerial decodes with a single worker.
+func BenchmarkTraceDecodeSerial(b *testing.B) { benchTraceDecode(b, 1) }
+
+// BenchmarkTraceDecodeParallel decodes chunk payloads across the pool.
+func BenchmarkTraceDecodeParallel(b *testing.B) { benchTraceDecode(b, runtime.NumCPU()) }
 
 // --- Micro-benchmarks of the core machinery ---
 

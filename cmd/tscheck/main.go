@@ -6,8 +6,10 @@
 // states). Any violation aborts with a diagnostic.
 //
 // Runs fan out across -workers concurrent simulations (0 = one per CPU).
+// -protocol and -network restrict the combination matrix.
 //
 //	tscheck -seeds 20 -ops 200
+//	tscheck -protocol TS-Snoop -network torus
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 
 	"tsnoop/internal/cache"
 	"tsnoop/internal/coherence"
+	"tsnoop/internal/core"
 	"tsnoop/internal/parallel"
 	"tsnoop/internal/protocol/directory"
 	"tsnoop/internal/protocol/tssnoop"
@@ -30,15 +33,27 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tscheck: ")
 	var (
-		seeds   = flag.Int("seeds", 10, "random seeds per combination")
-		ops     = flag.Int("ops", 150, "accesses per processor per run")
-		blocks  = flag.Int("blocks", 8, "hot-block pool size (smaller = more contention)")
-		perturb = flag.Int64("perturb-ns", 3, "max response perturbation in ns")
-		workers = flag.Int("workers", 0, "concurrent stress runs (0 = one per CPU, 1 = serial)")
+		seeds    = flag.Int("seeds", 10, "random seeds per combination")
+		ops      = flag.Int("ops", 150, "accesses per processor per run")
+		blocks   = flag.Int("blocks", 8, "hot-block pool size (smaller = more contention)")
+		perturb  = flag.Int64("perturb-ns", 3, "max response perturbation in ns")
+		workers  = flag.Int("workers", 0, "concurrent stress runs (0 = one per CPU, 1 = serial)")
+		protocol = flag.String("protocol", "all", "restrict to one protocol (all = every protocol)")
+		network  = flag.String("network", "both", "restrict to one network (both = butterfly and torus)")
 	)
 	flag.Parse()
+	if *protocol != "all" {
+		if err := core.CheckProtocol(*protocol); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *network != "both" {
+		if err := core.CheckNetwork(*network); err != nil {
+			log.Fatal(err)
+		}
+	}
 
-	combos := []struct {
+	allCombos := []struct {
 		protocol  string
 		network   string
 		mosi      bool
@@ -54,6 +69,15 @@ func main() {
 		{system.ProtoDirClassic, system.NetTorus, false, false},
 		{system.ProtoDirOpt, system.NetButterfly, false, false},
 		{system.ProtoDirOpt, system.NetTorus, false, false},
+	}
+	combos := allCombos[:0]
+	for _, c := range allCombos {
+		if (*protocol == "all" || c.protocol == *protocol) && (*network == "both" || c.network == *network) {
+			combos = append(combos, c)
+		}
+	}
+	if len(combos) == 0 {
+		log.Fatalf("no combinations match -protocol %s -network %s", *protocol, *network)
 	}
 	// Every stress run builds its own system, so the matrix fans out
 	// across the worker pool; the first failure (in matrix order) wins.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 
+	"tsnoop/internal/core"
 	"tsnoop/internal/harness"
 	"tsnoop/internal/sim"
 	"tsnoop/internal/system"
@@ -30,6 +31,8 @@ func main() {
 	nets := []string{*network}
 	if *network == "both" {
 		nets = []string{system.NetButterfly, system.NetTorus}
+	} else if err := core.CheckNetwork(*network); err != nil {
+		log.Fatal(err)
 	}
 	e := harness.Default()
 	e.Seeds = *seeds

@@ -8,12 +8,17 @@
 //	tsrun -benchmark OLTP -protocol TS-Snoop -network butterfly
 //	tsrun -benchmark DSS -protocol DirClassic -network torus -quota 5000
 //	tsrun -benchmark OLTP -seeds 5 -perturb-ns 3 -workers 0
+//	tsrun -benchmark trace:oltp.tstrace -protocol DirOpt
+//	tsrun -benchmark OLTP -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"tsnoop/internal/core"
@@ -24,7 +29,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tsrun: ")
 	var (
-		benchmark = flag.String("benchmark", "OLTP", "workload: "+strings.Join(core.Benchmarks(), ", "))
+		benchmark = flag.String("benchmark", "OLTP", "workload: "+strings.Join(core.Benchmarks(), ", ")+", or trace:<path>")
 		protocol  = flag.String("protocol", core.TSSnoop, "protocol: "+strings.Join(core.Protocols(), ", "))
 		network   = flag.String("network", core.Butterfly, "network: "+strings.Join(core.Networks(), ", "))
 		nodes     = flag.Int("nodes", 16, "processor count")
@@ -40,8 +45,26 @@ func main() {
 		mosi      = flag.Bool("mosi", false, "use the Owned state (MOSI extension, TS-Snoop)")
 		multicast = flag.Bool("multicast", false, "multicast snooping for GETS (TS-Snoop)")
 		predSize  = flag.Int("predictor", 0, "multicast predictor entries (0 unbounded, <0 disabled)")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+	for _, check := range []error{
+		core.CheckBenchmark(*benchmark), core.CheckProtocol(*protocol), core.CheckNetwork(*network),
+	} {
+		if check != nil {
+			log.Fatal(check)
+		}
+	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	run, err := core.RunBest(*benchmark, *protocol, *network, *seeds, *workers, func(c *core.Config) {
 		c.Nodes = *nodes
@@ -60,6 +83,9 @@ func main() {
 		c.Multicast = *multicast
 		c.PredictorSize = *predSize
 	})
+	if *cpuprof != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,4 +94,17 @@ func main() {
 		fmt.Printf("best of %d runs (seeds %d..%d)\n", *seeds, *seed, *seed+uint64(*seeds-1))
 	}
 	fmt.Print(run.Summary())
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

@@ -4,13 +4,19 @@
 //	tssweep -sweep blocksize               # 64B vs 128B blocks
 //	tssweep -sweep envelope                # Section 5 analytic bandwidth bounds
 //	tssweep -sweep ablation -network torus # TS-Snoop design-knob ablations
+//
+// -cpuprofile/-memprofile write pprof profiles of the sweep.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
+	"tsnoop/internal/core"
 	"tsnoop/internal/harness"
 )
 
@@ -23,8 +29,25 @@ func main() {
 		network   = flag.String("network", "butterfly", "network for the ablation sweep")
 		scale     = flag.Float64("scale", 0.5, "workload quota scale factor")
 		workers   = flag.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+	if err := core.CheckBenchmark(*benchmark); err != nil {
+		log.Fatal(err)
+	}
+	if err := core.CheckNetwork(*network); err != nil {
+		log.Fatal(err)
+	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	e := harness.Default()
 	e.Seeds = 1
@@ -43,10 +66,26 @@ func main() {
 	case "ablation":
 		out, err = e.AblationReport(*benchmark, *network)
 	default:
-		log.Fatalf("unknown sweep %q", *sweep)
+		log.Fatalf("unknown sweep %q (have nodes, blocksize, envelope, ablation)", *sweep)
+	}
+	if *cpuprof != "" {
+		pprof.StopCPUProfile()
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(out)
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

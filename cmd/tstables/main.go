@@ -1,7 +1,8 @@
 // Command tstables regenerates the paper's tables.
 //
-//	tstables -table 2   # unloaded latencies (Table 2), analytic vs measured
-//	tstables -table 3   # benchmark characteristics (Table 3)
+//	tstables -table 2                    # unloaded latencies (Table 2), analytic vs measured
+//	tstables -table 2 -network torus     # one network's rows only
+//	tstables -table 3                    # benchmark characteristics (Table 3)
 package main
 
 import (
@@ -9,7 +10,9 @@ import (
 	"fmt"
 	"log"
 
+	"tsnoop/internal/core"
 	"tsnoop/internal/harness"
+	"tsnoop/internal/system"
 )
 
 func main() {
@@ -17,19 +20,30 @@ func main() {
 	log.SetPrefix("tstables: ")
 	var (
 		table   = flag.Int("table", 2, "table number to regenerate (2 or 3)")
+		network = flag.String("network", "both", "butterfly, torus, or both (table 2)")
 		scale   = flag.Float64("scale", 1.0, "workload quota scale factor")
 		workers = flag.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
+	nets := []string{system.NetButterfly, system.NetTorus}
+	if *network != "both" {
+		if err := core.CheckNetwork(*network); err != nil {
+			log.Fatal(err)
+		}
+		nets = []string{*network}
+	}
 
 	switch *table {
 	case 2:
-		out, err := harness.RenderTable2Workers(*workers)
+		out, err := harness.RenderTable2Networks(*workers, nets...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(out)
 	case 3:
+		if *network != "both" {
+			log.Fatal("table 3 does not take -network (its workload characterization uses a fixed configuration)")
+		}
 		e := harness.Default()
 		e.QuotaScale = *scale
 		e.Workers = *workers

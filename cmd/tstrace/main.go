@@ -1,0 +1,345 @@
+// Command tstrace captures, inspects, transforms, and replays workload
+// trace files (the internal/trace format). Traces turn the simulator
+// into a scenario engine: record any benchmark's reference stream once,
+// then replay it bit-exactly into any protocol and network, or rewrite
+// it (fold CPUs, scale the footprint, cut a window, merge streams) to
+// build scenarios no generator produces.
+//
+//	tstrace record -benchmark OLTP -o oltp.tstrace
+//	tstrace record -benchmark DSS -o dss.tstrace -sim -protocol TS-Snoop
+//	tstrace stat oltp.tstrace
+//	tstrace transform -in oltp.tstrace -fold 8 -o oltp8.tstrace
+//	tstrace replay -trace oltp8.tstrace -protocol DirOpt -network torus
+//
+// A trace file records its own warm-up and measured-phase quotas, so a
+// replay reproduces the recorded run's statistics byte-identically
+// (asserted by internal/trace/roundtrip_test.go). Replays also work
+// anywhere a benchmark name does, via trace:<path> workload names:
+//
+//	tsrun -benchmark trace:oltp.tstrace -protocol DirOpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"tsnoop/internal/coherence"
+	"tsnoop/internal/core"
+	"tsnoop/internal/sim"
+	"tsnoop/internal/system"
+	"tsnoop/internal/trace"
+	"tsnoop/internal/workload"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: tstrace <command> [flags]
+
+commands:
+  record     capture a workload's reference stream to a trace file
+  replay     run a simulation driven by a trace file
+  stat       summarize a trace file
+  transform  rewrite a trace (fold/scale/window/merge)
+
+run "tstrace <command> -h" for each command's flags
+`)
+	os.Exit(2)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tstrace: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	case "stat":
+		stat(os.Args[2:])
+	case "transform":
+		transform(os.Args[2:])
+	default:
+		log.Printf("unknown command %q", os.Args[1])
+		usage()
+	}
+}
+
+// record captures a benchmark's per-CPU stream. By default it draws
+// the stream directly from the generator (fast; identical to what a
+// live run consumes). With -sim it instead runs a full simulation and
+// tees the stream a real protocol observed (same bytes, plus a run
+// summary).
+func record(args []string) {
+	fs := flag.NewFlagSet("tstrace record", flag.ExitOnError)
+	var (
+		benchmark = fs.String("benchmark", "OLTP", "workload: "+strings.Join(workload.ValidNames(), ", "))
+		out       = fs.String("o", "", "output trace file (required)")
+		cpus      = fs.Int("cpus", 16, "processor count to record for")
+		seed      = fs.Uint64("seed", 1, "workload random seed")
+		warmup    = fs.Int("warmup", -1, "warm-up accesses per processor (-1 = source default)")
+		quota     = fs.Int("quota", 0, "measured accesses per processor (0 = source default)")
+		useSim    = fs.Bool("sim", false, "record through a live simulation (Recorder tee) instead of drawing directly")
+		protocol  = fs.String("protocol", core.TSSnoop, "protocol for -sim")
+		network   = fs.String("network", core.Butterfly, "network for -sim")
+		workers   = fs.Int("workers", 0, "encode workers (0 = one per CPU, 1 = serial)")
+	)
+	fs.Parse(args)
+	if *out == "" {
+		log.Fatal("record: -o output file is required")
+	}
+	if err := core.CheckBenchmark(*benchmark); err != nil {
+		log.Fatal(err)
+	}
+	gen, err := workload.ByName(*benchmark, *cpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Source defaults: a trace-backed source carries its own quotas (so
+	// re-recording keeps the full stream); synthetics use the same
+	// defaults a live run consumes, so default recordings replay
+	// byte-identically against default runs.
+	defCfg := system.DefaultConfig(*protocol, *network)
+	defWarmup, defQuota := defCfg.WarmupPerCPU, workload.MeasureQuota(*benchmark)
+	if q, ok := gen.(workload.Quotaed); ok {
+		defWarmup, defQuota = q.Quotas()
+	}
+	if *warmup < 0 {
+		*warmup = defWarmup
+	}
+	if *quota <= 0 {
+		*quota = defQuota
+	}
+	h := trace.Header{
+		CPUs:           *cpus,
+		Name:           gen.Name(),
+		FootprintBytes: gen.FootprintBytes(),
+		WarmupPerCPU:   *warmup,
+		MeasurePerCPU:  *quota,
+	}
+	if *useSim {
+		if err := core.CheckProtocol(*protocol); err != nil {
+			log.Fatal(err)
+		}
+		if err := core.CheckNetwork(*network); err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := trace.NewWriter(f, h, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := system.DefaultConfig(*protocol, *network)
+		cfg.Nodes = *cpus
+		cfg.Seed = *seed
+		cfg.WarmupPerCPU = *warmup
+		cfg.MeasurePerCPU = *quota
+		s, err := system.Build(cfg, trace.NewRecorder(gen, w))
+		if err != nil {
+			log.Fatal(err)
+		}
+		run := s.Execute()
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded %s via %s/%s run:\n%s", *out, *protocol, *network, run.Summary())
+	} else {
+		tr := trace.Capture(gen, *cpus, *seed, *warmup, *quota)
+		if err := tr.WriteFile(*out, *workers); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Recording from a trace-backed source (-benchmark trace:<path>)
+	// that ran dry would bake re-walked wrapped data into the new file.
+	if w, ok := gen.(workload.Wrapping); ok && w.Wraps() > 0 {
+		os.Remove(*out)
+		log.Fatalf("record: source stream wrapped %d times (its recording is shorter than %d+%d accesses per cpu); lower -warmup/-quota", w.Wraps(), *warmup, *quota)
+	}
+	st, err := trace.StatFile(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %s, %d cpus, %d accesses, %d bytes (%.2f bytes/access)\n",
+		*out, st.Header.Name, st.Header.CPUs, st.Accesses(), st.FileBytes,
+		float64(st.FileBytes)/float64(st.Accesses()))
+}
+
+// replay drives a simulation from a trace file; the trace supplies the
+// machine width and phase quotas.
+func replay(args []string) {
+	fs := flag.NewFlagSet("tstrace replay", flag.ExitOnError)
+	var (
+		path     = fs.String("trace", "", "trace file to replay (required)")
+		protocol = fs.String("protocol", core.TSSnoop, "protocol: "+strings.Join(core.Protocols(), ", "))
+		network  = fs.String("network", core.Butterfly, "network: "+strings.Join(core.Networks(), ", "))
+		seed     = fs.Uint64("seed", 1, "perturbation/retry random seed")
+		seeds    = fs.Int("seeds", 1, "perturbed runs (the minimum runtime is reported)")
+		perturb  = fs.Int64("perturb-ns", 0, "max response perturbation in ns")
+		workers  = fs.Int("workers", 0, "concurrent runs (0 = one per CPU, 1 = serial)")
+	)
+	fs.Parse(args)
+	if *path == "" {
+		log.Fatal("replay: -trace file is required")
+	}
+	if err := core.CheckProtocol(*protocol); err != nil {
+		log.Fatal(err)
+	}
+	if err := core.CheckNetwork(*network); err != nil {
+		log.Fatal(err)
+	}
+	// Resolved shares its decode with the trace: resolutions inside
+	// RunBest, so the file is read once.
+	tr, err := trace.Resolved(*path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := core.RunBest("trace:"+*path, *protocol, *network, *seeds, *workers, func(c *core.Config) {
+		c.Nodes = tr.Header.CPUs
+		c.Seed = *seed
+		c.PerturbMax = sim.Duration(*perturb) * sim.Nanosecond
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (%s) / %s / %s (%d nodes)\n", *path, tr.Header.Name, *protocol, *network, tr.Header.CPUs)
+	if *seeds > 1 {
+		fmt.Printf("best of %d perturbed replays\n", *seeds)
+	}
+	fmt.Print(run.Summary())
+}
+
+// stat prints a trace's header and stream statistics.
+func stat(args []string) {
+	fs := flag.NewFlagSet("tstrace stat", flag.ExitOnError)
+	var (
+		workers = fs.Int("workers", 0, "decode workers for -full (0 = one per CPU)")
+		full    = fs.Bool("full", false, "decode the streams and report op mix and block reach")
+	)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		log.Fatal("stat: give one or more trace files")
+	}
+	for _, path := range fs.Args() {
+		var st *trace.Stat
+		var tr *trace.Trace
+		if *full {
+			// One read serves both the summary and the decoded streams.
+			data, err := os.ReadFile(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if tr, err = trace.Decode(data, *workers); err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+			st = &trace.Stat{Header: tr.Header, PerCPU: make([]int64, len(tr.Streams)), FileBytes: int64(len(data))}
+			for cpu, s := range tr.Streams {
+				st.PerCPU[cpu] = int64(len(s))
+			}
+		} else {
+			var err error
+			if st, err = trace.StatFile(path); err != nil {
+				log.Fatal(err)
+			}
+		}
+		minC, maxC := st.PerCPU[0], st.PerCPU[0]
+		for _, c := range st.PerCPU {
+			minC, maxC = min(minC, c), max(maxC, c)
+		}
+		fmt.Printf("%s:\n", path)
+		fmt.Printf("  workload     %s\n", st.Header.Name)
+		fmt.Printf("  cpus         %d\n", st.Header.CPUs)
+		fmt.Printf("  quotas       %d warm-up + %d measured per cpu\n", st.Header.WarmupPerCPU, st.Header.MeasurePerCPU)
+		fmt.Printf("  footprint    %.1f MB\n", float64(st.Header.FootprintBytes)/(1<<20))
+		fmt.Printf("  accesses     %d total (%d..%d per cpu)\n", st.Accesses(), minC, maxC)
+		fmt.Printf("  size         %d bytes (%.2f bytes/access)\n", st.FileBytes, float64(st.FileBytes)/float64(st.Accesses()))
+		if *full {
+			var stores, think int64
+			blocks := map[int64]struct{}{}
+			for _, s := range tr.Streams {
+				for _, a := range s {
+					if a.Op == coherence.Store {
+						stores++
+					}
+					think += int64(a.Think)
+					blocks[int64(a.Block)] = struct{}{}
+				}
+			}
+			n := tr.Accesses()
+			fmt.Printf("  stores       %.1f%%\n", 100*float64(stores)/float64(n))
+			fmt.Printf("  blocks       %d distinct (%.1f MB touched at 64 B)\n", len(blocks), float64(len(blocks))*64/(1<<20))
+			fmt.Printf("  mean think   %.1f instructions\n", float64(think)/float64(n))
+		}
+	}
+}
+
+// transform rewrites a trace through the composable passes, applied in
+// a fixed order: window, then fold, then scale, then merge.
+func transform(args []string) {
+	fs := flag.NewFlagSet("tstrace transform", flag.ExitOnError)
+	var (
+		in      = fs.String("in", "", "input trace file (required)")
+		out     = fs.String("o", "", "output trace file (required)")
+		foldN   = fs.Int("fold", 0, "fold onto this many cpus (0 = keep)")
+		scaleF  = fs.Float64("scale", 0, "footprint scale factor (0 = keep)")
+		start   = fs.Int("start", 0, "window start (accesses per cpu, with -window)")
+		window  = fs.Int("window", 0, "window length in accesses per cpu (0 = keep all)")
+		merge   = fs.String("merge", "", "comma-separated traces to interleave in")
+		workers = fs.Int("workers", 0, "transform/encode workers (0 = one per CPU)")
+	)
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		log.Fatal("transform: -in and -o are required")
+	}
+	if *foldN < 0 || *scaleF < 0 || *start < 0 || *window < 0 {
+		log.Fatal("transform: -fold, -scale, -start, and -window must not be negative")
+	}
+	if *start > 0 && *window == 0 {
+		log.Fatal("transform: -start requires -window")
+	}
+	tr, err := trace.ReadFile(*in, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var passes []trace.Transform
+	if *window > 0 {
+		passes = append(passes, trace.Window(*start, *window))
+	}
+	if *foldN > 0 {
+		passes = append(passes, trace.Fold(*foldN))
+	}
+	if *scaleF > 0 {
+		passes = append(passes, trace.Scale(*scaleF))
+	}
+	if *merge != "" {
+		var others []*trace.Trace
+		for _, p := range strings.Split(*merge, ",") {
+			o, err := trace.ReadFile(strings.TrimSpace(p), *workers)
+			if err != nil {
+				log.Fatal(err)
+			}
+			others = append(others, o)
+		}
+		passes = append(passes, trace.Merge(others...))
+	}
+	if len(passes) == 0 {
+		log.Fatal("transform: nothing to do (give -fold, -scale, -window, or -merge)")
+	}
+	tr, err = trace.Apply(tr, *workers, passes...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.WriteFile(*out, *workers); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %s, %d cpus, %d accesses\n", *out, tr.Header.Name, tr.Header.CPUs, tr.Accesses())
+}

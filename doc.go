@@ -11,6 +11,16 @@
 // byte-identical at any worker count (harness.Experiment.Workers; every
 // cmd tool exposes it as -workers).
 //
+// Workload streams can be captured to compact trace files and replayed
+// bit-exactly (internal/trace): a chunked, varint+delta-encoded format
+// stores per-CPU streams of accesses; a Replayer is itself a
+// workload.Generator, so "trace:<path>" works anywhere a benchmark name
+// does — tsrun, grids, sweeps, and tables run from trace files
+// unchanged. Composable transforms (CPU fold, footprint scale, window,
+// merge) rewrite traces into scenarios no generator produces, and the
+// cmd/tstrace tool surfaces record/replay/stat/transform on the
+// command line.
+//
 // The public entry point is internal/core; the executables live under
 // cmd/ and runnable examples under examples/. See README.md for a
 // quickstart.

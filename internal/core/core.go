@@ -17,12 +17,16 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"tsnoop/internal/harness"
 	"tsnoop/internal/parallel"
 	"tsnoop/internal/stats"
 	"tsnoop/internal/system"
 	"tsnoop/internal/workload"
+
+	// Registers the trace:<path> workload scheme.
+	_ "tsnoop/internal/trace"
 )
 
 // Protocol names.
@@ -66,26 +70,78 @@ func DefaultConfig(protocol, network string) Config {
 // DefaultExperiment returns the experiment setup used for the figures.
 func DefaultExperiment() Experiment { return harness.Default() }
 
-// RunBenchmark builds and executes one benchmark run. mutate, when
-// non-nil, may adjust the configuration before the machine is built.
-func RunBenchmark(benchmark, protocol, network string, mutate func(*Config)) (*Run, error) {
-	gen := workload.ByName(benchmark, 16)
-	if gen == nil {
-		return nil, fmt.Errorf("core: unknown benchmark %q (have %v)", benchmark, workload.Names())
+// CheckBenchmark validates a workload name — a paper benchmark or a
+// scheme name such as trace:<path> — without building anything. The
+// error is one line listing the valid names.
+func CheckBenchmark(name string) error { return workload.CheckName(name) }
+
+// CheckProtocol validates a protocol name with a one-line error listing
+// the valid names.
+func CheckProtocol(name string) error {
+	if slices.Contains(harness.Protocols, name) {
+		return nil
 	}
+	return fmt.Errorf("unknown protocol %q (have %v)", name, harness.Protocols)
+}
+
+// CheckNetwork validates a network name with a one-line error listing
+// the valid names.
+func CheckNetwork(name string) error {
+	if slices.Contains(harness.Networks, name) {
+		return nil
+	}
+	return fmt.Errorf("unknown network %q (have %v)", name, harness.Networks)
+}
+
+// RunBenchmark builds and executes one benchmark run. benchmark may be
+// any workload.ByName name, including trace:<path> for a recorded
+// trace (which then supplies its own phase quotas). mutate, when
+// non-nil, may adjust the configuration before the machine is built;
+// the quota fields hold a -1 "unset" sentinel inside mutate (set them,
+// don't read them — defaults are resolved after mutate returns).
+func RunBenchmark(benchmark, protocol, network string, mutate func(*Config)) (*Run, error) {
 	cfg := system.DefaultConfig(protocol, network)
 	cfg.MeasurePerCPU = workload.MeasureQuota(benchmark)
+	defWarmup, defMeasure := cfg.WarmupPerCPU, cfg.MeasurePerCPU
+	// Quota fields carry a -1 sentinel into mutate so an explicit
+	// mutate-set quota wins over a trace's recorded quotas even when it
+	// happens to equal the default.
+	cfg.WarmupPerCPU, cfg.MeasurePerCPU = -1, -1
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	if cfg.Nodes != 16 {
-		gen = workload.ByName(benchmark, cfg.Nodes)
+	gen, err := workload.ByName(benchmark, cfg.Nodes)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	// A trace supplies its own phase quotas in place of the defaults.
+	if q, ok := gen.(workload.Quotaed); ok {
+		defWarmup, defMeasure = q.Quotas()
+	}
+	if cfg.WarmupPerCPU < 0 {
+		cfg.WarmupPerCPU = defWarmup
+	}
+	if cfg.MeasurePerCPU < 0 {
+		cfg.MeasurePerCPU = defMeasure
+	}
+	// A zero measured quota runs an empty measurement phase and reports
+	// all-zero statistics; catch it here (including a mutate that did
+	// arithmetic on the -1 sentinel) rather than return bogus numbers.
+	if cfg.MeasurePerCPU == 0 {
+		return nil, fmt.Errorf("core: %q resolved to a zero measured quota", benchmark)
 	}
 	s, err := system.Build(cfg, gen)
 	if err != nil {
 		return nil, err
 	}
-	return s.Execute(), nil
+	run := s.Execute()
+	// A trace stream that ran dry wrapped around mid-run: the statistics
+	// would silently measure re-walked warm data, so fail instead.
+	if w, ok := gen.(workload.Wrapping); ok && w.Wraps() > 0 {
+		return nil, fmt.Errorf("core: %q wrapped its recorded stream %d times (quotas %d+%d exceed the recording; lower them or re-record)",
+			benchmark, w.Wraps(), cfg.WarmupPerCPU, cfg.MeasurePerCPU)
+	}
+	return run, nil
 }
 
 // RunBest executes seeds copies of one benchmark run concurrently and

@@ -45,6 +45,19 @@ type Experiment struct {
 	// produces byte-identical figures and tables. 0 (the default) uses
 	// one worker per CPU; 1 forces the serial path.
 	Workers int
+	// Benchmarks selects the workloads grids and tables run over; nil
+	// (the default) means the paper's five benchmarks. Entries may be
+	// any workload.ByName name, including trace:<path> for recorded
+	// traces, so whole grids can run from trace directories.
+	Benchmarks []string
+}
+
+// benchmarks resolves the Benchmarks knob.
+func (e Experiment) benchmarks() []string {
+	if len(e.Benchmarks) > 0 {
+		return e.Benchmarks
+	}
+	return workload.Names()
 }
 
 // Default returns the experiment setup used to regenerate the paper's
@@ -103,8 +116,20 @@ func (e Experiment) RunCell(c Cell) (CellResult, error) {
 // Grid holds one network's full benchmark x protocol results.
 type Grid struct {
 	Network string
+	// Benchmarks lists the workloads in presentation order (the paper's
+	// five, or the Experiment.Benchmarks override that produced the
+	// grid).
+	Benchmarks []string
 	// Cells[benchmark][protocol].
 	Cells map[string]map[string]CellResult
+}
+
+// benchmarks tolerates hand-built Grids without the Benchmarks field.
+func (g *Grid) benchmarks() []string {
+	if len(g.Benchmarks) > 0 {
+		return g.Benchmarks
+	}
+	return workload.Names()
 }
 
 // RunGrid executes every benchmark x protocol cell for one network. The
@@ -114,7 +139,7 @@ func (e Experiment) RunGrid(network string) (*Grid, error) {
 	seeds := e.seeds()
 	var cells []Cell
 	var jobs []seedJob
-	for _, b := range workload.Names() {
+	for _, b := range e.benchmarks() {
 		gen, err := lookupGen(b, e.Nodes)
 		if err != nil {
 			return nil, err
@@ -131,7 +156,7 @@ func (e Experiment) RunGrid(network string) (*Grid, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := &Grid{Network: network, Cells: map[string]map[string]CellResult{}}
+	g := &Grid{Network: network, Benchmarks: e.benchmarks(), Cells: map[string]map[string]CellResult{}}
 	for i, c := range cells {
 		if g.Cells[c.Benchmark] == nil {
 			g.Cells[c.Benchmark] = map[string]CellResult{}
@@ -149,7 +174,7 @@ func (g *Grid) Figure3() string {
 	fmt.Fprintf(&b, "Figure 3 (%s): runtime normalized to TS-Snoop (smaller is better)\n", g.Network)
 	fmt.Fprintf(&b, "%-10s %10s %12s %12s %18s %15s\n",
 		"benchmark", "TS-Snoop", "DirClassic", "DirOpt", "faster-vs-Classic", "faster-vs-Opt")
-	for _, bench := range workload.Names() {
+	for _, bench := range g.benchmarks() {
 		ts := g.Cells[bench][system.ProtoTSSnoop].Best.Runtime
 		dc := g.Cells[bench][system.ProtoDirClassic].Best.Runtime
 		do := g.Cells[bench][system.ProtoDirOpt].Best.Runtime
@@ -170,7 +195,7 @@ func (g *Grid) Figure4() string {
 	fmt.Fprintf(&b, "Figure 4 (%s): link traffic normalized to TS-Snoop, by class\n", g.Network)
 	fmt.Fprintf(&b, "%-10s %-11s %8s %8s %8s %8s %8s\n",
 		"benchmark", "protocol", "total", "data", "request", "nack", "misc")
-	for _, bench := range workload.Names() {
+	for _, bench := range g.benchmarks() {
 		base := g.Cells[bench][system.ProtoTSSnoop].Best.Traffic.TotalLinkBytes()
 		for _, proto := range Protocols {
 			tr := &g.Cells[bench][proto].Best.Traffic
@@ -192,7 +217,7 @@ func (g *Grid) Figure4() string {
 // 6-28% faster than ..." summaries).
 func (g *Grid) SpeedupRange(proto string) (lo, hi float64) {
 	first := true
-	for _, bench := range workload.Names() {
+	for _, bench := range g.benchmarks() {
 		ts := g.Cells[bench][system.ProtoTSSnoop].Best.Runtime
 		other := g.Cells[bench][proto].Best.Runtime
 		v := float64(other)/float64(ts) - 1
@@ -211,7 +236,7 @@ func (g *Grid) SpeedupRange(proto string) (lo, hi float64) {
 // minus 1 (the paper's "13-43% more link traffic").
 func (g *Grid) ExtraTrafficRange(proto string) (lo, hi float64) {
 	first := true
-	for _, bench := range workload.Names() {
+	for _, bench := range g.benchmarks() {
 		ts := g.Cells[bench][system.ProtoTSSnoop].Best.Traffic.TotalLinkBytes()
 		other := g.Cells[bench][proto].Best.Traffic.TotalLinkBytes()
 		v := float64(ts)/float64(other) - 1

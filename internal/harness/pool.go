@@ -14,6 +14,9 @@ import (
 	"tsnoop/internal/stats"
 	"tsnoop/internal/system"
 	"tsnoop/internal/workload"
+
+	// Registers the trace:<path> workload scheme for lookupGen.
+	_ "tsnoop/internal/trace"
 )
 
 // workers resolves the experiment's Workers knob (0 = one per CPU).
@@ -33,15 +36,23 @@ func (e Experiment) seeds() int {
 // workload state.
 type seedJob struct {
 	cell Cell
-	gen  *workload.Synthetic
+	gen  workload.Generator
 	seed int
 }
 
 // runSeedJobs executes jobs across the pool, results in job order.
+// Generators are stateful and one looked-up generator backs every job
+// of its cell group, so each must be cloneable — a silent shared-state
+// fallback would race across workers.
 func (e Experiment) runSeedJobs(jobs []seedJob) ([]*stats.Run, error) {
+	for _, j := range jobs {
+		if _, ok := j.gen.(workload.Cloner); !ok {
+			return nil, fmt.Errorf("harness: generator %q does not implement workload.Cloner (seed runs need fresh generator state)", j.gen.Name())
+		}
+	}
 	return parallel.Map(e.workers(), len(jobs), func(i int) (*stats.Run, error) {
 		j := jobs[i]
-		return e.runSeed(j.cell, j.gen.Clone(), j.seed)
+		return e.runSeed(j.cell, workload.CloneOf(j.gen), j.seed)
 	})
 }
 
@@ -56,9 +67,21 @@ func (e Experiment) baseConfig(bench, proto, network string) system.Config {
 	return cfg
 }
 
+// applyQuotas overrides the scaled quota defaults with a workload's own
+// phase quotas when it carries them (recorded traces). Trace quotas are
+// used verbatim — scaling happened when the trace was recorded, or via
+// the Window transform — so a replayed cell consumes its streams
+// exactly.
+func applyQuotas(cfg *system.Config, gen workload.Generator) {
+	if q, ok := gen.(workload.Quotaed); ok {
+		cfg.WarmupPerCPU, cfg.MeasurePerCPU = q.Quotas()
+	}
+}
+
 // runSeed executes one perturbed run of a cell on a fresh generator.
 func (e Experiment) runSeed(c Cell, gen workload.Generator, seed int) (*stats.Run, error) {
 	cfg := e.baseConfig(c.Benchmark, c.Protocol, c.Network)
+	applyQuotas(&cfg, gen)
 	cfg.Seed = uint64(seed + 1)
 	if e.Seeds > 1 {
 		cfg.PerturbMax = e.PerturbMax
@@ -104,11 +127,11 @@ func (e Experiment) runPoints(specs []pointSpec) ([]SweepPoint, error) {
 }
 
 // lookupGen is ByName with the error the harness reports for unknown
-// benchmark names.
-func lookupGen(name string, nodes int) (*workload.Synthetic, error) {
-	gen := workload.ByName(name, nodes)
-	if gen == nil {
-		return nil, fmt.Errorf("harness: unknown benchmark %q", name)
+// benchmark names. Names may use any registered scheme (trace:<path>).
+func lookupGen(name string, nodes int) (workload.Generator, error) {
+	gen, err := workload.ByName(name, nodes)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
 	}
 	return gen, nil
 }

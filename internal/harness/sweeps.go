@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"tsnoop/internal/system"
-	"tsnoop/internal/workload"
 )
 
 // SweepPoint is one (configuration, protocol) measurement in a sweep.
@@ -29,8 +28,11 @@ func (e Experiment) runPoint(label, bench, proto, network string, mutate func(*s
 		mutate(&cfg)
 	}
 	if cfg.Nodes != e.Nodes {
-		gen = workload.ByName(bench, cfg.Nodes)
+		if gen, err = lookupGen(bench, cfg.Nodes); err != nil {
+			return SweepPoint{}, err
+		}
 	}
+	applyQuotas(&cfg, gen)
 	s, err := system.Build(cfg, gen)
 	if err != nil {
 		return SweepPoint{}, err

@@ -14,7 +14,6 @@ import (
 	"tsnoop/internal/system"
 	"tsnoop/internal/timing"
 	"tsnoop/internal/topology"
-	"tsnoop/internal/workload"
 )
 
 // Table2Row is one unloaded-latency row: the paper's analytic value and
@@ -181,8 +180,13 @@ func RenderTable2() (string, error) { return RenderTable2Workers(0) }
 // (0 = one per CPU, 1 = serial). The networks render sequentially so
 // the bound caps total concurrent probes rather than multiplying.
 func RenderTable2Workers(workers int) (string, error) {
+	return RenderTable2Networks(workers, Networks...)
+}
+
+// RenderTable2Networks renders Table 2 for a chosen subset of networks.
+func RenderTable2Networks(workers int, networks ...string) (string, error) {
 	var b strings.Builder
-	for _, net := range Networks {
+	for _, net := range networks {
 		rows, err := Table2Workers(net, workers)
 		if err != nil {
 			return "", err
@@ -210,7 +214,7 @@ type Table3Row struct {
 // protocols is negligible because the reference streams are identical).
 // The benchmarks run concurrently on the worker pool.
 func (e Experiment) Table3() ([]Table3Row, error) {
-	names := workload.Names()
+	names := e.benchmarks()
 	return parallel.Map(e.workers(), len(names), func(i int) (Table3Row, error) {
 		name := names[i]
 		gen, err := lookupGen(name, e.Nodes)
@@ -218,6 +222,7 @@ func (e Experiment) Table3() ([]Table3Row, error) {
 			return Table3Row{}, err
 		}
 		cfg := e.baseConfig(name, system.ProtoDirOpt, system.NetButterfly)
+		applyQuotas(&cfg, gen)
 		s, err := system.Build(cfg, gen)
 		if err != nil {
 			return Table3Row{}, err

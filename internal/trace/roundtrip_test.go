@@ -1,0 +1,252 @@
+package trace_test
+
+// Round-trip fidelity: a recorded trace, replayed, must reproduce the
+// live generator's run byte-identically — same runtime, same traffic,
+// same miss mix — for every benchmark, protocol, seed, and worker
+// count. This is the property that makes traces a drop-in substrate
+// for every experiment above them.
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tsnoop/internal/core"
+	"tsnoop/internal/harness"
+	"tsnoop/internal/system"
+	"tsnoop/internal/trace"
+	"tsnoop/internal/workload"
+)
+
+const (
+	rtWarmup  = 150
+	rtMeasure = 250
+)
+
+// recordBench captures benchmark name at the given seed with the
+// round-trip quotas and writes it to dir, returning the trace: name.
+func recordBench(t *testing.T, dir, name string, cpus int, seed uint64) string {
+	t.Helper()
+	gen, err := workload.ByName(name, cpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Capture(gen, cpus, seed, rtWarmup, rtMeasure)
+	path := filepath.Join(dir, fmt.Sprintf("%s-%d.tstrace", name, seed))
+	if err := tr.WriteFile(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	return "trace:" + path
+}
+
+// TestReplayMatchesLiveRun records each of the five benchmarks and
+// asserts the replayed run equals the live-generator run, across all
+// three protocols and two seeds.
+func TestReplayMatchesLiveRun(t *testing.T) {
+	dir := t.TempDir()
+	for _, bench := range workload.Names() {
+		for _, seed := range []uint64{1, 7} {
+			traceName := recordBench(t, dir, bench, 16, seed)
+			for _, proto := range []string{core.TSSnoop, core.DirClassic, core.DirOpt} {
+				live, err := core.RunBenchmark(bench, proto, core.Butterfly, func(c *core.Config) {
+					c.WarmupPerCPU = rtWarmup
+					c.MeasurePerCPU = rtMeasure
+					c.Seed = seed
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				replay, err := core.RunBenchmark(traceName, proto, core.Butterfly, func(c *core.Config) {
+					c.Seed = seed
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(live, replay) {
+					t.Errorf("%s/%s seed %d: replayed run differs from live run\nlive:\n%s\nreplay:\n%s",
+						bench, proto, seed, live.Summary(), replay.Summary())
+				}
+				if live.Summary() != replay.Summary() {
+					t.Errorf("%s/%s seed %d: summaries not byte-identical", bench, proto, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestTraceGridMatchesLiveGrid runs a one-benchmark Figure 3/4 grid
+// from a trace directory and asserts the rendering is byte-identical
+// to the live grid at several worker counts. The trace must be
+// recorded with the quotas the harness will use (seed 1, Seeds=1).
+func TestTraceGridMatchesLiveGrid(t *testing.T) {
+	dir := t.TempDir()
+	bench := "barnes"
+	e := harness.Default()
+	e.Seeds = 1 // multi-seed live runs vary the stream; a trace pins it
+	e.QuotaScale = 0
+	e.WarmupScale = 0
+	// QuotaScale/WarmupScale of 0 floor the quotas at 1; record with
+	// explicit quotas instead and let the trace supply them.
+	gen, err := workload.ByName(bench, e.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Capture(gen, e.Nodes, 1, rtWarmup, rtMeasure)
+	path := filepath.Join(dir, bench+".tstrace")
+	if err := tr.WriteFile(path, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	live := e
+	live.QuotaScale = float64(rtMeasure) / float64(workload.MeasureQuota(bench))
+	live.WarmupScale = float64(rtWarmup) / 2500.0
+	live.Benchmarks = []string{bench}
+	liveGrid, err := live.RunGrid(system.NetButterfly)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var first string
+	for _, workers := range []int{1, 4} {
+		te := e
+		te.Workers = workers
+		te.Benchmarks = []string{"trace:" + path}
+		grid, err := te.RunGrid(system.NetButterfly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig := grid.Figure3() + grid.Figure4()
+		if first == "" {
+			first = fig
+		} else if fig != first {
+			t.Fatalf("workers=%d: trace grid rendering differs from workers=1", workers)
+		}
+		// Cell-by-cell equality against the live grid (the renderings
+		// differ only in the benchmark label column).
+		for _, proto := range harness.Protocols {
+			lr := liveGrid.Cells[bench][proto].Best
+			tr := grid.Cells["trace:"+path][proto].Best
+			if !reflect.DeepEqual(lr, tr) {
+				t.Errorf("workers=%d %s: trace cell differs from live cell\nlive:\n%s\ntrace:\n%s",
+					workers, proto, lr.Summary(), tr.Summary())
+			}
+		}
+	}
+}
+
+// TestTraceTable3RowMatchesLive asserts a Table 3 row computed from a
+// trace-backed experiment is identical to the live row.
+func TestTraceTable3RowMatchesLive(t *testing.T) {
+	dir := t.TempDir()
+	bench := "DSS"
+	e := harness.Default()
+
+	gen, err := workload.ByName(bench, e.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Capture(gen, e.Nodes, 1, rtWarmup, rtMeasure)
+	path := filepath.Join(dir, bench+".tstrace")
+	if err := tr.WriteFile(path, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	live := e
+	live.QuotaScale = float64(rtMeasure) / float64(workload.MeasureQuota(bench))
+	live.WarmupScale = float64(rtWarmup) / 2500.0
+	live.Benchmarks = []string{bench}
+	liveRows, err := live.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	te := e
+	te.Benchmarks = []string{"trace:" + path}
+	traceRows, err := te.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, rr := liveRows[0], traceRows[0]
+	rr.Benchmark = lr.Benchmark // labels differ by construction
+	if !reflect.DeepEqual(lr, rr) {
+		t.Fatalf("table 3 row differs:\nlive:  %+v\ntrace: %+v", lr, rr)
+	}
+}
+
+// TestExplicitQuotaBeatsTraceQuota sets a measured quota equal to the
+// scheme default (2500), which value-equality override detection cannot
+// distinguish from "not set", and asserts it still overrides the
+// trace's recorded quota.
+func TestExplicitQuotaBeatsTraceQuota(t *testing.T) {
+	dir := t.TempDir()
+	gen, err := workload.ByName("barnes", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Capture(gen, 4, 1, 100, 2600)
+	path := filepath.Join(dir, "barnes4.tstrace")
+	if err := tr.WriteFile(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	run, err := core.RunBenchmark("trace:"+path, core.TSSnoop, core.Butterfly, func(c *core.Config) {
+		c.Nodes = 4
+		c.MeasurePerCPU = 2500 // deliberately equal to the scheme default
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.MemOps != 4*2500 {
+		t.Fatalf("mem ops = %d, want %d (explicit quota must beat the trace's %d)",
+			run.MemOps, 4*2500, tr.Header.MeasurePerCPU)
+	}
+
+	// A quota beyond the recording would wrap the stream and silently
+	// measure re-walked data; that must be an error, not bogus stats.
+	if _, err := core.RunBenchmark("trace:"+path, core.TSSnoop, core.Butterfly, func(c *core.Config) {
+		c.Nodes = 4
+		c.MeasurePerCPU = 3000 // recording holds 100+2600 per cpu
+	}); err == nil || !strings.Contains(err.Error(), "wrapped") {
+		t.Fatalf("over-quota replay: err = %v, want wrap error", err)
+	}
+}
+
+// TestFoldedTraceThroughExperiment folds a 16-CPU barnes trace onto 8
+// CPUs and runs it end to end through harness.Experiment on the torus
+// (8 nodes is not a square, so the butterfly does not apply).
+func TestFoldedTraceThroughExperiment(t *testing.T) {
+	dir := t.TempDir()
+	gen, err := workload.ByName("barnes", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Capture(gen, 16, 1, 100, 150)
+	folded, err := trace.Apply(tr, 0, trace.Fold(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "barnes-8.tstrace")
+	if err := folded.WriteFile(path, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	e := harness.Default()
+	e.Nodes = 8
+	e.Seeds = 2
+	e.Benchmarks = []string{"trace:" + path}
+	grid, err := e.RunGrid(system.NetTorus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := grid.Figure3()
+	if !strings.Contains(fig, "trace:") {
+		t.Fatalf("figure missing trace row:\n%s", fig)
+	}
+	for _, proto := range harness.Protocols {
+		best := grid.Cells["trace:"+path][proto].Best
+		if best == nil || best.Runtime <= 0 || best.MemOps != int64(8*folded.Header.MeasurePerCPU) {
+			t.Fatalf("%s: folded replay ran %d mem ops, want %d", proto, best.MemOps, 8*folded.Header.MeasurePerCPU)
+		}
+	}
+}

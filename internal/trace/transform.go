@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"tsnoop/internal/coherence"
+	"tsnoop/internal/parallel"
+	"tsnoop/internal/workload"
+)
+
+// A Transform rewrites a decoded trace into a new one. Transforms never
+// mutate their input (Replayers may share its streams) and fan
+// per-stream work across the internal/parallel pool, bounded by
+// workers (0 = one per CPU core, 1 = serial). Compose them with Apply.
+type Transform func(t *Trace, workers int) (*Trace, error)
+
+// Apply runs the passes left to right.
+func Apply(t *Trace, workers int, passes ...Transform) (*Trace, error) {
+	var err error
+	for _, pass := range passes {
+		if t, err = pass(t, workers); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Fold remaps a trace onto fewer processors: every target stream takes
+// floor(source/target) source streams (stream i feeds target i mod
+// cpus; when the fold is uneven the remainder streams are dropped, so
+// all targets stay the same length), interleaved round-robin by access
+// index — warm-up sections first, then measured, so contention
+// structure survives the fold and the phase boundary stays aligned.
+// Quotas scale by the same factor; a replay consumes each folded
+// stream exactly and never wraps.
+func Fold(cpus int) Transform {
+	return func(t *Trace, workers int) (*Trace, error) {
+		src := t.Header.CPUs
+		if cpus < 1 || cpus > src {
+			return nil, fmt.Errorf("trace: fold target %d outside [1, %d source cpus]", cpus, src)
+		}
+		if cpus == src {
+			return t, nil
+		}
+		per := src / cpus
+		streams, err := parallel.Map(workers, cpus, func(j int) ([]workload.Access, error) {
+			warm := make([][]workload.Access, per)
+			meas := make([][]workload.Access, per)
+			for i := range warm {
+				s := t.Streams[j+i*cpus]
+				w := min(t.Header.WarmupPerCPU, len(s))
+				warm[i], meas[i] = s[:w], s[w:]
+			}
+			return append(interleave(warm), interleave(meas)...), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		h := t.Header
+		h.CPUs = cpus
+		h.WarmupPerCPU = h.WarmupPerCPU * per
+		h.MeasurePerCPU = h.MeasurePerCPU * per
+		return &Trace{Header: h, Streams: streams}, nil
+	}
+}
+
+// Scale remaps block IDs by a footprint factor: block b becomes
+// floor(b*factor), so factor < 1 aliases neighboring blocks together
+// (shrinking the footprint and raising locality) and factor > 1
+// spreads them apart. The header footprint scales accordingly.
+func Scale(factor float64) Transform {
+	return func(t *Trace, workers int) (*Trace, error) {
+		if factor <= 0 {
+			return nil, fmt.Errorf("trace: scale factor must be positive, got %g", factor)
+		}
+		streams, err := parallel.Map(workers, len(t.Streams), func(cpu int) ([]workload.Access, error) {
+			src := t.Streams[cpu]
+			out := make([]workload.Access, len(src))
+			for i, a := range src {
+				a.Block = coherence.Block(int64(float64(a.Block) * factor))
+				out[i] = a
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		h := t.Header
+		h.FootprintBytes = int64(float64(h.FootprintBytes) * factor)
+		return &Trace{Header: h, Streams: streams}, nil
+	}
+}
+
+// Window truncates every stream to the accesses [start, start+n). Phase
+// quotas follow the recording: kept accesses that were recorded as
+// warm-up stay warm-up (so a window starting past the recorded warm-up
+// keeps none), and the rest are measured. A window keeping no measured
+// accesses is an error — replaying it would measure nothing.
+func Window(start, n int) Transform {
+	return func(t *Trace, workers int) (*Trace, error) {
+		if start < 0 || n < 1 {
+			return nil, fmt.Errorf("trace: window [%d, %d+%d) is empty or negative", start, start, n)
+		}
+		streams := make([][]workload.Access, len(t.Streams))
+		for cpu, s := range t.Streams {
+			lo := min(start, len(s))
+			hi := min(start+n, len(s))
+			streams[cpu] = s[lo:hi]
+		}
+		h := t.Header
+		warm := min(max(h.WarmupPerCPU-start, 0), n)
+		total := min(max(h.WarmupPerCPU+h.MeasurePerCPU-start, 0), n)
+		h.WarmupPerCPU = warm
+		h.MeasurePerCPU = total - warm
+		if h.MeasurePerCPU == 0 {
+			return nil, fmt.Errorf("trace: window [%d, %d) keeps no measured accesses (recorded quotas: %d warm-up + %d measured per cpu)",
+				start, start+n, t.Header.WarmupPerCPU, t.Header.MeasurePerCPU)
+		}
+		return &Trace{Header: h, Streams: streams}, nil
+	}
+}
+
+// interleave merges segments round-robin by access index.
+func interleave(segs [][]workload.Access) []workload.Access {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	out := make([]workload.Access, 0, total)
+	for r := 0; len(out) < total; r++ {
+		for _, s := range segs {
+			if r < len(s) {
+				out = append(out, s[r])
+			}
+		}
+	}
+	return out
+}
+
+// Merge interleaves additional traces into the transformed one,
+// round-robin per CPU by access index — warm-up sections with warm-up
+// sections and measured with measured, so the combined quotas keep the
+// phase boundary aligned even when the sources' warm-up quotas differ.
+// All traces must share the CPU count; quotas add, the footprint takes
+// the maximum, and the name joins the sources with "+".
+func Merge(others ...*Trace) Transform {
+	return func(t *Trace, workers int) (*Trace, error) {
+		all := append([]*Trace{t}, others...)
+		names := make([]string, len(all))
+		h := t.Header
+		h.WarmupPerCPU, h.MeasurePerCPU, h.FootprintBytes = 0, 0, 0
+		for i, tr := range all {
+			if tr.Header.CPUs != t.Header.CPUs {
+				return nil, fmt.Errorf("trace: merge of %d-cpu trace %q into %d-cpu trace %q (fold first)",
+					tr.Header.CPUs, tr.Header.Name, t.Header.CPUs, t.Header.Name)
+			}
+			names[i] = tr.Header.Name
+			h.WarmupPerCPU += tr.Header.WarmupPerCPU
+			h.MeasurePerCPU += tr.Header.MeasurePerCPU
+			h.FootprintBytes = max(h.FootprintBytes, tr.Header.FootprintBytes)
+		}
+		h.Name = strings.Join(names, "+")
+		streams, err := parallel.Map(workers, t.Header.CPUs, func(cpu int) ([]workload.Access, error) {
+			warm := make([][]workload.Access, len(all))
+			meas := make([][]workload.Access, len(all))
+			for i, tr := range all {
+				s := tr.Streams[cpu]
+				w := min(tr.Header.WarmupPerCPU, len(s))
+				warm[i], meas[i] = s[:w], s[w:]
+			}
+			return append(interleave(warm), interleave(meas)...), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Trace{Header: h, Streams: streams}, nil
+	}
+}

@@ -1,5 +1,11 @@
 package workload
 
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
 // The five benchmark profiles, calibrated so that a 16-processor run with
 // the paper's 4 MB caches lands near Table 3's cache-to-cache miss
 // fractions:
@@ -167,10 +173,9 @@ func Uniform(blocks int, writeFrac float64, meanThink float64, cpus int) *Synthe
 	}, cpus)
 }
 
-// ByName returns a fresh generator for a paper benchmark name, or nil for
-// an unknown name. Generators are stateful; every run needs a fresh one
-// (build one per run, or Clone a looked-up generator).
-func ByName(name string, cpus int) *Synthetic {
+// synthetic returns a fresh synthetic generator for a paper benchmark
+// name, or nil for an unknown name.
+func synthetic(name string, cpus int) *Synthetic {
 	switch name {
 	case "OLTP":
 		return OLTP(cpus)
@@ -187,5 +192,69 @@ func ByName(name string, cpus int) *Synthetic {
 	}
 }
 
+// resolvers maps a name-scheme prefix (the "trace" in "trace:<path>") to
+// its resolution function. Schemes register from an init — see
+// internal/trace, which provides trace:<path> replay workloads.
+var resolvers = map[string]func(arg string, cpus int) (Generator, error){}
+
+// RegisterScheme makes ByName resolve "<scheme>:<arg>" names through
+// resolve. Registering a scheme twice panics.
+func RegisterScheme(scheme string, resolve func(arg string, cpus int) (Generator, error)) {
+	if _, dup := resolvers[scheme]; dup {
+		panic("workload: duplicate scheme " + scheme)
+	}
+	resolvers[scheme] = resolve
+}
+
+// ByName returns a fresh generator for a workload name: one of the paper
+// benchmarks, or a registered scheme name such as "trace:<path>".
+// Generators are stateful; every run needs a fresh one (build one per
+// run, or CloneOf a looked-up generator).
+func ByName(name string, cpus int) (Generator, error) {
+	if cpus < 1 {
+		return nil, fmt.Errorf("workload: %q needs at least one cpu, got %d", name, cpus)
+	}
+	if scheme, arg, ok := strings.Cut(name, ":"); ok {
+		if resolve := resolvers[scheme]; resolve != nil {
+			return resolve(arg, cpus)
+		}
+		return nil, fmt.Errorf("workload: unknown scheme %q in %q (have %s)", scheme, name, strings.Join(ValidNames(), ", "))
+	}
+	if g := synthetic(name, cpus); g != nil {
+		return g, nil
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q (have %s)", name, strings.Join(ValidNames(), ", "))
+}
+
+// CheckName reports (without IO) whether name would resolve: a paper
+// benchmark or a registered scheme name. The error is a one-line
+// diagnostic listing the valid names.
+func CheckName(name string) error {
+	if scheme, _, ok := strings.Cut(name, ":"); ok {
+		if _, registered := resolvers[scheme]; registered {
+			return nil
+		}
+		return fmt.Errorf("unknown workload scheme %q in %q (have %s)", scheme, name, strings.Join(ValidNames(), ", "))
+	}
+	for _, n := range Names() {
+		if name == n {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown benchmark %q (have %s)", name, strings.Join(ValidNames(), ", "))
+}
+
 // Names lists the paper benchmarks in presentation order.
 func Names() []string { return []string{"OLTP", "DSS", "apache", "altavista", "barnes"} }
+
+// ValidNames lists everything ByName accepts: the paper benchmarks plus
+// one "<scheme>:<arg>" placeholder per registered scheme.
+func ValidNames() []string {
+	names := Names()
+	schemes := make([]string, 0, len(resolvers))
+	for s := range resolvers {
+		schemes = append(schemes, s+":<path>")
+	}
+	sort.Strings(schemes)
+	return append(names, schemes...)
+}

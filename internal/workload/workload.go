@@ -53,6 +53,38 @@ type Generator interface {
 	Next(cpu int, r *sim.Rand) Access
 }
 
+// Cloner is implemented by generators that can produce a fresh-state copy
+// of themselves. Generators are stateful, so every simulation needs its
+// own; the harness clones one looked-up generator per run.
+type Cloner interface {
+	Generator
+	CloneGenerator() Generator
+}
+
+// CloneOf returns a fresh-state copy of g when it implements Cloner, and
+// g itself otherwise.
+func CloneOf(g Generator) Generator {
+	if c, ok := g.(Cloner); ok {
+		return c.CloneGenerator()
+	}
+	return g
+}
+
+// Quotaed is implemented by workloads that carry their own warm-up and
+// measured-phase quotas — recorded traces, whose length fixes both. The
+// harness uses these instead of the benchmark defaults.
+type Quotaed interface {
+	Quotas() (warmupPerCPU, measurePerCPU int)
+}
+
+// Wrapping is implemented by replay-style generators whose fixed stream
+// can run dry and restart from the top. Wraps reports how often that
+// happened; consumers treat a nonzero count as an error, since wrapped
+// statistics silently re-measure warm data.
+type Wrapping interface {
+	Wraps() int
+}
+
 // Profile parameterizes a synthetic benchmark.
 //
 // Two migratory knobs shape the cache-to-cache fraction: a MigPair (an
@@ -237,3 +269,6 @@ func (g *Synthetic) Clone() *Synthetic {
 	c.state = make([]cpuState, g.cpus)
 	return &c
 }
+
+// CloneGenerator implements Cloner.
+func (g *Synthetic) CloneGenerator() Generator { return g.Clone() }
