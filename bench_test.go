@@ -17,6 +17,7 @@ import (
 
 	"tsnoop/internal/cache"
 	"tsnoop/internal/coherence"
+	"tsnoop/internal/core"
 	"tsnoop/internal/harness"
 	"tsnoop/internal/sim"
 	"tsnoop/internal/stats"
@@ -143,81 +144,71 @@ func BenchmarkEnvelope(b *testing.B) {
 }
 
 // benchAblation measures one TS-Snoop design knob against the baseline on
-// the torus (where ordering delay makes the knobs visible).
-func benchAblation(b *testing.B, mutate func(*system.Config)) {
-	e := benchExperiment()
+// the torus (where ordering delay makes the knobs visible). Knobs are
+// declarative spec options, the same vocabulary the ablation sweep uses.
+func benchAblation(b *testing.B, opts ...core.Option) {
+	s := core.New("barnes",
+		append([]core.Option{core.WithNetwork(core.Torus), core.WithWarmup(1000), core.WithQuota(1000)}, opts...)...)
 	for i := 0; i < b.N; i++ {
-		gen, err := workload.ByName("barnes", 16)
+		run, err := s.Run()
 		if err != nil {
 			b.Fatal(err)
 		}
-		cfg := system.DefaultConfig(system.ProtoTSSnoop, system.NetTorus)
-		cfg.WarmupPerCPU = 1000
-		cfg.MeasurePerCPU = 1000
-		if mutate != nil {
-			mutate(&cfg)
-		}
-		s, err := system.Build(cfg, gen)
-		if err != nil {
-			b.Fatal(err)
-		}
-		run := s.Execute()
 		b.ReportMetric(float64(run.Runtime)/1000, "simRuntime_ns")
 		b.ReportMetric(float64(run.MissLatency.Mean())/1000, "missLatency_ns")
 	}
-	_ = e
 }
 
 // BenchmarkAblationBaseline is the reference point for the ablations.
-func BenchmarkAblationBaseline(b *testing.B) { benchAblation(b, nil) }
+func BenchmarkAblationBaseline(b *testing.B) { benchAblation(b) }
 
 // BenchmarkAblationSlack0 sets the initial slack S to zero.
 func BenchmarkAblationSlack0(b *testing.B) {
-	benchAblation(b, func(c *system.Config) { c.InitialSlack = 0 })
+	benchAblation(b, core.WithSlack(0))
 }
 
 // BenchmarkAblationSlack4 sets the initial slack S to four.
 func BenchmarkAblationSlack4(b *testing.B) {
-	benchAblation(b, func(c *system.Config) { c.InitialSlack = 4 })
+	benchAblation(b, core.WithSlack(4))
 }
 
 // BenchmarkAblationNoPrefetch disables optimization 1.
 func BenchmarkAblationNoPrefetch(b *testing.B) {
-	benchAblation(b, func(c *system.Config) { c.Prefetch = false })
+	benchAblation(b, core.WithoutPrefetch())
 }
 
 // BenchmarkAblationEarlyProcessing enables optimization 2.
 func BenchmarkAblationEarlyProcessing(b *testing.B) {
-	benchAblation(b, func(c *system.Config) { c.EarlyProcessing = true })
+	benchAblation(b, core.WithEarlyProcessing())
 }
 
 // BenchmarkAblationTokens2 doubles the tokens per input port.
 func BenchmarkAblationTokens2(b *testing.B) {
-	benchAblation(b, func(c *system.Config) { c.TokensPerPort = 2 })
+	benchAblation(b, core.WithTokensPerPort(2))
 }
 
 // BenchmarkAblationContention enables switch output-port contention
 // modelling (the paper's evaluation is uncontended).
 func BenchmarkAblationContention(b *testing.B) {
-	benchAblation(b, func(c *system.Config) { c.Contention = true })
+	benchAblation(b, core.WithContention())
 }
 
 // BenchmarkAblationMOSI upgrades TS-Snoop to MOSI: the Owned state
 // eliminates the owner-to-memory writeback on every sharing miss.
 func BenchmarkAblationMOSI(b *testing.B) {
-	benchAblation(b, func(c *system.Config) { c.UseOwnedState = true })
+	benchAblation(b, core.WithMOSI())
 }
 
 // BenchmarkAblationMulticast enables simplified multicast snooping:
 // GETS goes to a predicted destination set instead of a full broadcast,
 // cutting address traffic (the paper's first future-work direction).
 func BenchmarkAblationMulticast(b *testing.B) {
-	benchAblation(b, func(c *system.Config) { c.Multicast = true })
+	benchAblation(b, core.WithMulticast())
 }
 
 // BenchmarkAblationMulticastMOSI combines both extensions.
 func BenchmarkAblationMulticastMOSI(b *testing.B) {
-	benchAblation(b, func(c *system.Config) { c.Multicast = true; c.UseOwnedState = true })
+	benchAblation(b, core.WithMulticast(), core.WithMOSI())
 }
 
 // BenchmarkSweepNodes runs the machine-size sensitivity sweep.

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"tsnoop/internal/harness"
+	"tsnoop/internal/spec"
+	"tsnoop/internal/stats"
+)
+
+// runCmd executes a single benchmark x protocol x network simulation
+// and prints its statistics. With -seeds N it runs N perturbed copies
+// concurrently (bounded by -workers) and reports the minimum-runtime
+// run, the paper's reporting rule. -json emits the result as a cell
+// object with stable field names.
+var runCmd = &command{
+	name:      "run",
+	summary:   "execute one benchmark x protocol x network simulation",
+	simulates: true,
+	setup: func(fs *flag.FlagSet) execFn {
+		s := spec.Default()
+		s.Bind(fs)
+		jsonOut := fs.Bool("json", false, "emit the best run as a JSON cell result")
+		cpuprof := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprof := fs.String("memprofile", "", "write a pprof heap profile to this file")
+		return func(ctx context.Context, stdout, stderr io.Writer) error {
+			stopProf, err := startProfiles(*cpuprof, *memprof)
+			if err != nil {
+				return err
+			}
+			run, runErr := s.RunContext(ctx)
+			if err := stopProf(); err != nil {
+				return err
+			}
+			if runErr != nil {
+				return runErr
+			}
+			if *jsonOut {
+				return writeCellJSON(stdout, s, run)
+			}
+			fmt.Fprintf(stdout, "%s / %s / %s (%d nodes)\n", s.Benchmark, s.Protocol, s.Network, s.Nodes)
+			if s.Seeds > 1 {
+				fmt.Fprintf(stdout, "best of %d runs (seeds %d..%d)\n", s.Seeds, s.Seed, s.Seed+uint64(s.Seeds-1))
+			}
+			_, err = io.WriteString(stdout, run.Summary())
+			return err
+		}
+	},
+}
+
+// writeCellJSON renders one run as an indented cell-result object. The
+// shape matches the grid subcommand's streamed cells, so one decoder
+// reads both.
+func writeCellJSON(w io.Writer, s spec.Spec, run *stats.Run) error {
+	cr := harness.CellResult{
+		Cell: harness.Cell{Benchmark: s.Benchmark, Protocol: s.Protocol, Network: s.Network},
+		Best: run,
+	}
+	data, err := json.MarshalIndent(cr, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}
+
+// startProfiles starts the requested pprof profiles and returns the
+// function that finishes them.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}

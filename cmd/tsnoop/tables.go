@@ -1,0 +1,56 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+
+	"tsnoop/internal/harness"
+	"tsnoop/internal/spec"
+)
+
+// tablesCmd regenerates the paper's tables: the unloaded-latency
+// validation (Table 2, analytic vs measured) and the benchmark
+// characteristics (Table 3). -benchmark restricts Table 3 to one
+// workload.
+var tablesCmd = &command{
+	name:      "tables",
+	summary:   "regenerate Table 2 (latencies) and Table 3 (benchmarks)",
+	simulates: true,
+	setup: func(fs *flag.FlagSet) execFn {
+		s := spec.Default()
+		s.Benchmark = "" // all benchmarks
+		s.Network = "both"
+		s.Bind(fs)
+		table := fs.Int("table", 2, "table number to regenerate (2 or 3)")
+		return func(ctx context.Context, stdout, stderr io.Writer) error {
+			switch *table {
+			case 2:
+				nets, err := expandNetworks(s.Network)
+				if err != nil {
+					return err
+				}
+				out, err := harness.RenderTable2Networks(s.Workers, nets...)
+				if err != nil {
+					return err
+				}
+				_, err = io.WriteString(stdout, out)
+				return err
+			case 3:
+				if s.Network != "both" {
+					return fmt.Errorf("table 3 does not take -network (its workload characterization uses a fixed configuration)")
+				}
+				e := harness.FromSpec(s)
+				out, err := e.RenderTable3()
+				if err != nil {
+					return err
+				}
+				_, err = io.WriteString(stdout, out)
+				return err
+			default:
+				return fmt.Errorf("unknown table %d (have 2 and 3)", *table)
+			}
+		}
+	},
+}

@@ -5,23 +5,30 @@
 // streams, and a harness that regenerates every table and figure in the
 // paper's evaluation.
 //
-// The harness is a concurrent experiment engine: grid cells, perturbed
-// seeds, and sweep points fan out across a deterministic worker pool
-// (internal/parallel) with results collected in job order, so output is
-// byte-identical at any worker count (harness.Experiment.Workers; every
-// cmd tool exposes it as -workers).
+// The public surface is one declarative value: core.Spec names everything
+// an experiment needs — benchmark, protocol, network, machine size, seeds,
+// phase quotas, and the design knobs — and is built with functional
+// options (core.New("OLTP", core.WithProtocol(core.TSSnoop),
+// core.WithNodes(32))), validated in one place, and round-trippable to
+// JSON and to a command-line flag set. Spec.Run executes it; grids and
+// sweeps run as Go iterators of cell results (harness StreamGrid /
+// StreamPoints) fed by the deterministic worker pool (internal/parallel),
+// so callers get live progress, early cancellation via context.Context,
+// and machine-readable results, while collecting a stream stays
+// byte-identical at any worker count. Figure and table renderers are pure
+// views over the streamed cells.
 //
 // Workload streams can be captured to compact trace files and replayed
 // bit-exactly (internal/trace): a chunked, varint+delta-encoded format
 // stores per-CPU streams of accesses; a Replayer is itself a
 // workload.Generator, so "trace:<path>" works anywhere a benchmark name
-// does — tsrun, grids, sweeps, and tables run from trace files
+// does — single runs, grids, sweeps, and tables run from trace files
 // unchanged. Composable transforms (CPU fold, footprint scale, window,
-// merge) rewrite traces into scenarios no generator produces, and the
-// cmd/tstrace tool surfaces record/replay/stat/transform on the
-// command line.
+// merge) rewrite traces into scenarios no generator produces.
 //
-// The public entry point is internal/core; the executables live under
-// cmd/ and runnable examples under examples/. See README.md for a
-// quickstart.
+// The command-line surface is the single cmd/tsnoop tool, whose
+// subcommands (run, grid, sweep, tables, check, trace) all parse the same
+// Spec flag set. The public entry point for library use is internal/core;
+// runnable examples live under examples/ (examples/spec_api walks the
+// Spec API end to end). See README.md for a quickstart.
 package tsnoop

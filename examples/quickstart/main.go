@@ -1,6 +1,7 @@
 // Quickstart: run one OLTP simulation under timestamp snooping on the
 // 16-node butterfly and print its statistics, then contrast the same
-// workload under the classic directory protocol.
+// workload under the classic directory protocol. Experiments are
+// declared as core.Spec values — build one with options, call Run.
 package main
 
 import (
@@ -14,16 +15,16 @@ func main() {
 	log.SetFlags(0)
 
 	// Scale the run down for a fast demo.
-	small := func(c *core.Config) { c.MeasurePerCPU = 1500 }
+	small := core.WithQuota(1500)
 
-	snoop, err := core.RunBenchmark("OLTP", core.TSSnoop, core.Butterfly, small)
+	snoop, err := core.New("OLTP", core.WithProtocol(core.TSSnoop), small).Run()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("== OLTP on timestamp snooping (butterfly) ==")
 	fmt.Print(snoop.Summary())
 
-	dir, err := core.RunBenchmark("OLTP", core.DirClassic, core.Butterfly, small)
+	dir, err := core.New("OLTP", core.WithProtocol(core.DirClassic), small).Run()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,7 +2,7 @@
 // format, replay it bit-exactly in place of the live generator, then
 // fold the 16-CPU trace onto 8 processors and run that — a scenario no
 // synthetic generator produces. The command-line equivalent is
-// cmd/tstrace (record / stat / transform / replay).
+// "tsnoop trace" (record / stat / transform / replay).
 package main
 
 import (
@@ -46,12 +46,11 @@ func main() {
 
 	// Replay: "trace:<path>" works anywhere a benchmark name does, and
 	// the trace carries its own phase quotas.
-	small := func(c *core.Config) { c.WarmupPerCPU = warmup; c.MeasurePerCPU = quota }
-	live, err := core.RunBenchmark("OLTP", core.TSSnoop, core.Butterfly, small)
+	live, err := core.New("OLTP", core.WithWarmup(warmup), core.WithQuota(quota)).Run()
 	if err != nil {
 		log.Fatal(err)
 	}
-	replay, err := core.RunBenchmark("trace:"+path, core.TSSnoop, core.Butterfly, nil)
+	replay, err := core.New("trace:" + path).Run()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,9 +72,7 @@ func main() {
 	if err := folded.WriteFile(foldedPath, 0); err != nil {
 		log.Fatal(err)
 	}
-	run8, err := core.RunBenchmark("trace:"+foldedPath, core.TSSnoop, core.Torus, func(c *core.Config) {
-		c.Nodes = 8
-	})
+	run8, err := core.New("trace:"+foldedPath, core.WithNetwork(core.Torus), core.WithNodes(8)).Run()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,32 +1,37 @@
 // Package core is the public entry point of the timestamp-snooping
-// library: it ties together the simulation kernel, the topologies, the
-// three coherence protocols, the synthetic commercial workloads, and the
-// experiment harness behind a small configuration surface.
+// library. Its surface is one declarative value: a Spec names everything
+// an experiment needs — benchmark, protocol, network, machine size,
+// seeds, quotas, and the design knobs — and is built with functional
+// options, validated in one place, and round-trippable to JSON and to a
+// command-line flag set.
 //
 // Quick start:
 //
-//	res, err := core.RunBenchmark("OLTP", core.TSSnoop, core.Butterfly, nil)
+//	res, err := core.New("OLTP", core.WithProtocol(core.TSSnoop)).Run()
 //	fmt.Println(res.Summary())
 //
 // Reproducing the paper:
 //
-//	grid, _ := core.DefaultExperiment().RunGrid(core.Butterfly)
+//	e := core.DefaultExperiment()
+//	grid, _ := e.RunGrid(core.Butterfly)
 //	fmt.Println(grid.Figure3())
 //	fmt.Println(grid.Figure4())
+//
+// Grids and sweeps also run as streams — iterators over cell results
+// fed by the concurrent engine — so callers get live progress and early
+// cancellation:
+//
+//	for cell, err := range e.StreamGrid(ctx, core.Torus) { ... }
+//
+// The command-line surface is cmd/tsnoop, whose subcommands all parse
+// the same Spec flag set.
 package core
 
 import (
-	"fmt"
-	"slices"
-
 	"tsnoop/internal/harness"
-	"tsnoop/internal/parallel"
+	"tsnoop/internal/spec"
 	"tsnoop/internal/stats"
 	"tsnoop/internal/system"
-	"tsnoop/internal/workload"
-
-	// Registers the trace:<path> workload scheme.
-	_ "tsnoop/internal/trace"
 )
 
 // Protocol names.
@@ -42,133 +47,85 @@ const (
 	Torus     = system.NetTorus
 )
 
-// Config is the machine/run configuration (see system.Config for fields).
-type Config = system.Config
+// Spec is the declarative experiment configuration (see spec.Spec).
+type Spec = spec.Spec
 
-// Experiment is a figure-regeneration configuration (seeds, perturbation,
-// scale; see harness.Experiment).
-type Experiment = harness.Experiment
+// Option adjusts a Spec under construction.
+type Option = spec.Option
 
 // Run is the set of statistics one simulation produces.
 type Run = stats.Run
 
+// Experiment is the grid/sweep/table engine configuration (see
+// harness.Experiment); build one from a Spec with ExperimentFor.
+type Experiment = harness.Experiment
+
+// Grid holds one network's benchmark x protocol results; its Figure3
+// and Figure4 methods are pure views over the streamed cells.
+type Grid = harness.Grid
+
+// Cell identifies one grid cell.
+type Cell = harness.Cell
+
+// CellResult is one streamed grid result.
+type CellResult = harness.CellResult
+
+// SweepPoint is one streamed sweep measurement.
+type SweepPoint = harness.SweepPoint
+
+// New builds a Spec for a benchmark from the defaults plus options.
+func New(benchmark string, opts ...Option) Spec { return spec.New(benchmark, opts...) }
+
+// DefaultSpec returns the paper's default single-run configuration.
+func DefaultSpec() Spec { return spec.Default() }
+
+// FromJSON parses a Spec from its canonical JSON rendering.
+func FromJSON(data []byte) (Spec, error) { return spec.FromJSON(data) }
+
+// FromArgs parses a Spec from its canonical flag-set rendering.
+func FromArgs(args []string) (Spec, error) { return spec.FromArgs(args) }
+
+// Spec options, re-exported so core callers need only this package.
+var (
+	WithProtocol        = spec.WithProtocol
+	WithNetwork         = spec.WithNetwork
+	WithNodes           = spec.WithNodes
+	WithSeed            = spec.WithSeed
+	WithSeeds           = spec.WithSeeds
+	WithWorkers         = spec.WithWorkers
+	WithWarmup          = spec.WithWarmup
+	WithQuota           = spec.WithQuota
+	WithQuotaScale      = spec.WithQuotaScale
+	WithWarmupScale     = spec.WithWarmupScale
+	WithPerturbNS       = spec.WithPerturbNS
+	WithSlack           = spec.WithSlack
+	WithTokensPerPort   = spec.WithTokensPerPort
+	WithoutPrefetch     = spec.WithoutPrefetch
+	WithEarlyProcessing = spec.WithEarlyProcessing
+	WithContention      = spec.WithContention
+	WithMOSI            = spec.WithMOSI
+	WithMulticast       = spec.WithMulticast
+	WithPredictorSize   = spec.WithPredictorSize
+	WithBlockBytes      = spec.WithBlockBytes
+	WithCacheBytes      = spec.WithCacheBytes
+)
+
 // Benchmarks lists the paper's workload names in presentation order.
-func Benchmarks() []string { return workload.Names() }
+func Benchmarks() []string { return spec.Benchmarks() }
 
 // Protocols lists the protocol names in presentation order.
-func Protocols() []string { return append([]string(nil), harness.Protocols...) }
+func Protocols() []string { return append([]string(nil), spec.Protocols...) }
 
 // Networks lists the network names in presentation order.
-func Networks() []string { return append([]string(nil), harness.Networks...) }
-
-// DefaultConfig returns the paper's 16-node machine for a protocol and
-// network.
-func DefaultConfig(protocol, network string) Config {
-	return system.DefaultConfig(protocol, network)
-}
+func Networks() []string { return append([]string(nil), spec.Networks...) }
 
 // DefaultExperiment returns the experiment setup used for the figures.
 func DefaultExperiment() Experiment { return harness.Default() }
 
-// CheckBenchmark validates a workload name — a paper benchmark or a
-// scheme name such as trace:<path> — without building anything. The
-// error is one line listing the valid names.
-func CheckBenchmark(name string) error { return workload.CheckName(name) }
+// NewGrid returns an empty grid ready to Add streamed cell results.
+func NewGrid(network string, benchmarks []string) *Grid { return harness.NewGrid(network, benchmarks) }
 
-// CheckProtocol validates a protocol name with a one-line error listing
-// the valid names.
-func CheckProtocol(name string) error {
-	if slices.Contains(harness.Protocols, name) {
-		return nil
-	}
-	return fmt.Errorf("unknown protocol %q (have %v)", name, harness.Protocols)
-}
-
-// CheckNetwork validates a network name with a one-line error listing
-// the valid names.
-func CheckNetwork(name string) error {
-	if slices.Contains(harness.Networks, name) {
-		return nil
-	}
-	return fmt.Errorf("unknown network %q (have %v)", name, harness.Networks)
-}
-
-// RunBenchmark builds and executes one benchmark run. benchmark may be
-// any workload.ByName name, including trace:<path> for a recorded
-// trace (which then supplies its own phase quotas). mutate, when
-// non-nil, may adjust the configuration before the machine is built;
-// the quota fields hold a -1 "unset" sentinel inside mutate (set them,
-// don't read them — defaults are resolved after mutate returns).
-func RunBenchmark(benchmark, protocol, network string, mutate func(*Config)) (*Run, error) {
-	cfg := system.DefaultConfig(protocol, network)
-	cfg.MeasurePerCPU = workload.MeasureQuota(benchmark)
-	defWarmup, defMeasure := cfg.WarmupPerCPU, cfg.MeasurePerCPU
-	// Quota fields carry a -1 sentinel into mutate so an explicit
-	// mutate-set quota wins over a trace's recorded quotas even when it
-	// happens to equal the default.
-	cfg.WarmupPerCPU, cfg.MeasurePerCPU = -1, -1
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	gen, err := workload.ByName(benchmark, cfg.Nodes)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	// A trace supplies its own phase quotas in place of the defaults.
-	if q, ok := gen.(workload.Quotaed); ok {
-		defWarmup, defMeasure = q.Quotas()
-	}
-	if cfg.WarmupPerCPU < 0 {
-		cfg.WarmupPerCPU = defWarmup
-	}
-	if cfg.MeasurePerCPU < 0 {
-		cfg.MeasurePerCPU = defMeasure
-	}
-	// A zero measured quota runs an empty measurement phase and reports
-	// all-zero statistics; catch it here (including a mutate that did
-	// arithmetic on the -1 sentinel) rather than return bogus numbers.
-	if cfg.MeasurePerCPU == 0 {
-		return nil, fmt.Errorf("core: %q resolved to a zero measured quota", benchmark)
-	}
-	s, err := system.Build(cfg, gen)
-	if err != nil {
-		return nil, err
-	}
-	run := s.Execute()
-	// A trace stream that ran dry wrapped around mid-run: the statistics
-	// would silently measure re-walked warm data, so fail instead.
-	if w, ok := gen.(workload.Wrapping); ok && w.Wraps() > 0 {
-		return nil, fmt.Errorf("core: %q wrapped its recorded stream %d times (quotas %d+%d exceed the recording; lower them or re-record)",
-			benchmark, w.Wraps(), cfg.WarmupPerCPU, cfg.MeasurePerCPU)
-	}
-	return run, nil
-}
-
-// RunBest executes seeds copies of one benchmark run concurrently and
-// returns the minimum-runtime run. Copy i runs with the configured Seed
-// plus i, which varies the workload reference stream and, when
-// Config.PerturbMax is set in mutate, the injected response
-// perturbation — the same per-seed scheme as harness.Experiment.RunCell
-// (an approximation of the paper's minimum-over-perturbed-runs rule;
-// Config.Seed drives both randomness sources, so the copies are not
-// perturbation-only variations of one stream). workers follows
-// harness.Experiment.Workers: 0 uses one worker per CPU, 1 is serial.
-// Results are collected in seed order, so the chosen run is independent
-// of the worker count.
-func RunBest(benchmark, protocol, network string, seeds, workers int, mutate func(*Config)) (*Run, error) {
-	if seeds < 1 {
-		seeds = 1
-	}
-	runs, err := parallel.Map(workers, seeds, func(i int) (*Run, error) {
-		return RunBenchmark(benchmark, protocol, network, func(c *Config) {
-			if mutate != nil {
-				mutate(c)
-			}
-			c.Seed += uint64(i)
-		})
-	})
-	if err != nil {
-		return nil, err
-	}
-	return harness.BestOf(runs), nil
-}
+// ExperimentFor derives the grid/sweep/table engine configuration a
+// Spec describes: its machine size, seed fan-out, perturbation,
+// scaling, worker bound, and design knobs.
+func ExperimentFor(s Spec) Experiment { return harness.FromSpec(s) }

@@ -17,11 +17,9 @@ func TestLists(t *testing.T) {
 	}
 }
 
-func TestRunBenchmarkSmall(t *testing.T) {
-	run, err := RunBenchmark("barnes", DirOpt, Torus, func(c *Config) {
-		c.WarmupPerCPU = 100
-		c.MeasurePerCPU = 200
-	})
+func TestSpecRunSmall(t *testing.T) {
+	run, err := New("barnes", WithProtocol(DirOpt), WithNetwork(Torus),
+		WithWarmup(100), WithQuota(200)).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,18 +31,14 @@ func TestRunBenchmarkSmall(t *testing.T) {
 	}
 }
 
-func TestRunBenchmarkUnknown(t *testing.T) {
-	if _, err := RunBenchmark("tpc-w", TSSnoop, Butterfly, nil); err == nil {
+func TestSpecRunUnknownBenchmark(t *testing.T) {
+	if _, err := New("tpc-w").Run(); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
 }
 
-func TestRunBenchmarkCustomNodes(t *testing.T) {
-	run, err := RunBenchmark("barnes", TSSnoop, Butterfly, func(c *Config) {
-		c.Nodes = 4
-		c.WarmupPerCPU = 100
-		c.MeasurePerCPU = 150
-	})
+func TestSpecRunCustomNodes(t *testing.T) {
+	run, err := New("barnes", WithNodes(4), WithWarmup(100), WithQuota(150)).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,9 +47,35 @@ func TestRunBenchmarkCustomNodes(t *testing.T) {
 	}
 }
 
+func TestSpecRoundTripsThroughCore(t *testing.T) {
+	s := New("DSS", WithProtocol(DirClassic), WithNetwork(Torus), WithSlack(4))
+	fromJSON, err := FromJSON(s.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromArgs, err := FromArgs(s.Args())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON != s || fromArgs != s {
+		t.Fatalf("round trips differ:\n%+v\n%+v\n%+v", s, fromJSON, fromArgs)
+	}
+}
+
 func TestDefaultExperimentSane(t *testing.T) {
 	e := DefaultExperiment()
 	if e.Nodes != 16 || e.Seeds < 1 {
 		t.Fatalf("experiment = %+v", e)
+	}
+}
+
+func TestExperimentForCarriesKnobs(t *testing.T) {
+	e := ExperimentFor(New("OLTP", WithNodes(4), WithSeeds(2), WithWorkers(1),
+		WithQuotaScale(0.1), WithMOSI()))
+	if e.Nodes != 4 || e.Seeds != 2 || e.Workers != 1 || e.QuotaScale != 0.1 {
+		t.Fatalf("experiment = %+v", e)
+	}
+	if e.Base == nil || !e.Base.MOSI {
+		t.Fatal("design knobs not carried into the experiment base")
 	}
 }

@@ -9,20 +9,22 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"tsnoop/internal/sim"
+	"tsnoop/internal/spec"
 	"tsnoop/internal/stats"
 	"tsnoop/internal/system"
 	"tsnoop/internal/workload"
 )
 
 // Protocols in the paper's presentation order.
-var Protocols = []string{system.ProtoTSSnoop, system.ProtoDirClassic, system.ProtoDirOpt}
+var Protocols = spec.Protocols
 
 // Networks in the paper's presentation order.
-var Networks = []string{system.NetButterfly, system.NetTorus}
+var Networks = spec.Networks
 
 // Experiment parameterizes a grid run.
 type Experiment struct {
@@ -50,6 +52,16 @@ type Experiment struct {
 	// any workload.ByName name, including trace:<path> for recorded
 	// traces, so whole grids can run from trace directories.
 	Benchmarks []string
+	// Protocols selects the protocols grids run over; nil (the default)
+	// means all three. Figure3/Figure4 need the full set (TS-Snoop is
+	// the normalization baseline), so restricted grids suit streaming
+	// and JSON consumers rather than the figure renderers.
+	Protocols []string
+	// Base, when non-nil, supplies the machine and protocol design knobs
+	// every cell starts from (slack, MOSI, multicast, cache geometry,
+	// explicit quotas ...); nil means spec.Default(). The engine owns the
+	// per-cell coordinates, seeds, and perturbation.
+	Base *spec.Spec
 }
 
 // benchmarks resolves the Benchmarks knob.
@@ -58,6 +70,47 @@ func (e Experiment) benchmarks() []string {
 		return e.Benchmarks
 	}
 	return workload.Names()
+}
+
+// BenchmarkNames lists the workloads the experiment's grids and tables
+// run over, in presentation order.
+func (e Experiment) BenchmarkNames() []string {
+	return append([]string(nil), e.benchmarks()...)
+}
+
+// protocols resolves the Protocols knob.
+func (e Experiment) protocols() []string {
+	if len(e.Protocols) > 0 {
+		return e.Protocols
+	}
+	return Protocols
+}
+
+// ProtocolNames lists the protocols the experiment's grids run over,
+// in presentation order.
+func (e Experiment) ProtocolNames() []string {
+	return append([]string(nil), e.protocols()...)
+}
+
+// FromSpec derives the Experiment a spec describes: the spec's machine
+// size, seed fan-out, perturbation, quota scaling, and worker bound
+// drive the engine, its benchmark (when set) restricts the grid, and
+// the spec itself becomes the Base every cell's design knobs start
+// from. An empty Benchmark means the paper's five.
+func FromSpec(s spec.Spec) Experiment {
+	e := Experiment{
+		Nodes:       s.Nodes,
+		Seeds:       s.Seeds,
+		PerturbMax:  sim.Duration(s.PerturbNS) * sim.Nanosecond,
+		QuotaScale:  s.QuotaScale,
+		WarmupScale: s.WarmupScale,
+		Workers:     s.Workers,
+		Base:        &s,
+	}
+	if s.Benchmark != "" {
+		e.Benchmarks = []string{s.Benchmark}
+	}
+	return e
 }
 
 // Default returns the experiment setup used to regenerate the paper's
@@ -83,15 +136,6 @@ type Cell struct {
 type CellResult struct {
 	Cell Cell
 	Best *stats.Run
-}
-
-// scale applies a scale factor with a floor of 1.
-func scale(v int, f float64) int {
-	n := int(float64(v) * f)
-	if n < 1 {
-		n = 1
-	}
-	return n
 }
 
 // RunCell executes one cell over the experiment's perturbed seeds,
@@ -132,36 +176,17 @@ func (g *Grid) benchmarks() []string {
 	return workload.Names()
 }
 
-// RunGrid executes every benchmark x protocol cell for one network. The
-// full benchmark x protocol x seed job list runs on the worker pool, so
-// no worker idles waiting for a slow cell to finish its seeds.
+// RunGrid executes every benchmark x protocol cell for one network by
+// collecting StreamGrid. The full benchmark x protocol x seed job list
+// runs on the worker pool, so no worker idles waiting for a slow cell
+// to finish its seeds.
 func (e Experiment) RunGrid(network string) (*Grid, error) {
-	seeds := e.seeds()
-	var cells []Cell
-	var jobs []seedJob
-	for _, b := range e.benchmarks() {
-		gen, err := lookupGen(b, e.Nodes)
+	g := NewGrid(network, e.benchmarks())
+	for cr, err := range e.StreamGrid(context.Background(), network) {
 		if err != nil {
 			return nil, err
 		}
-		for _, p := range Protocols {
-			c := Cell{Benchmark: b, Protocol: p, Network: network}
-			cells = append(cells, c)
-			for seed := 0; seed < seeds; seed++ {
-				jobs = append(jobs, seedJob{cell: c, gen: gen, seed: seed})
-			}
-		}
-	}
-	runs, err := e.runSeedJobs(jobs)
-	if err != nil {
-		return nil, err
-	}
-	g := &Grid{Network: network, Benchmarks: e.benchmarks(), Cells: map[string]map[string]CellResult{}}
-	for i, c := range cells {
-		if g.Cells[c.Benchmark] == nil {
-			g.Cells[c.Benchmark] = map[string]CellResult{}
-		}
-		g.Cells[c.Benchmark][c.Protocol] = CellResult{Cell: c, Best: BestOf(runs[i*seeds : (i+1)*seeds])}
+		g.Add(cr)
 	}
 	return g, nil
 }

@@ -6,17 +6,19 @@ package harness
 // pool (internal/parallel). Jobs are enumerated in the serial
 // presentation order and results are collected by index, which keeps
 // every figure and table rendering byte-identical to a Workers=1 run.
+// Per-run machine configurations all derive from spec.Spec (cellSpec),
+// so the quota and knob resolution rules cannot drift between the grid,
+// the sweeps, and the tables.
 
 import (
 	"fmt"
 
 	"tsnoop/internal/parallel"
+	"tsnoop/internal/sim"
+	"tsnoop/internal/spec"
 	"tsnoop/internal/stats"
 	"tsnoop/internal/system"
 	"tsnoop/internal/workload"
-
-	// Registers the trace:<path> workload scheme for lookupGen.
-	_ "tsnoop/internal/trace"
 )
 
 // workers resolves the experiment's Workers knob (0 = one per CPU).
@@ -31,6 +33,24 @@ func (e Experiment) seeds() int {
 	return e.Seeds
 }
 
+// cellSpec derives the spec a grid cell, sweep point, or table row
+// starts from: the experiment's Base knobs with the cell coordinates
+// and the experiment's machine-scale fields applied. Seed fan-out and
+// perturbation are owned by the engine (runSeed), so the base's
+// PerturbNS is cleared here.
+func (e Experiment) cellSpec(bench, proto, network string) spec.Spec {
+	s := spec.Default()
+	if e.Base != nil {
+		s = *e.Base
+	}
+	s.Benchmark, s.Protocol, s.Network = bench, proto, network
+	s.Nodes = e.Nodes
+	s.QuotaScale, s.WarmupScale = e.QuotaScale, e.WarmupScale
+	s.Seeds = 1
+	s.PerturbNS = 0
+	return s
+}
+
 // seedJob is one simulation in a grid run: a cell plus a perturbation
 // seed. The generator is cloned per job so concurrent jobs never share
 // workload state.
@@ -40,15 +60,23 @@ type seedJob struct {
 	seed int
 }
 
-// runSeedJobs executes jobs across the pool, results in job order.
-// Generators are stateful and one looked-up generator backs every job
-// of its cell group, so each must be cloneable — a silent shared-state
-// fallback would race across workers.
-func (e Experiment) runSeedJobs(jobs []seedJob) ([]*stats.Run, error) {
+// checkCloneable rejects job lists whose generators cannot produce
+// fresh-state copies. Generators are stateful and one looked-up
+// generator backs every job of its cell group, so each must be
+// cloneable — a silent shared-state fallback would race across workers.
+func checkCloneable(jobs []seedJob) error {
 	for _, j := range jobs {
 		if _, ok := j.gen.(workload.Cloner); !ok {
-			return nil, fmt.Errorf("harness: generator %q does not implement workload.Cloner (seed runs need fresh generator state)", j.gen.Name())
+			return fmt.Errorf("harness: generator %q does not implement workload.Cloner (seed runs need fresh generator state)", j.gen.Name())
 		}
+	}
+	return nil
+}
+
+// runSeedJobs executes jobs across the pool, results in job order.
+func (e Experiment) runSeedJobs(jobs []seedJob) ([]*stats.Run, error) {
+	if err := checkCloneable(jobs); err != nil {
+		return nil, err
 	}
 	return parallel.Map(e.workers(), len(jobs), func(i int) (*stats.Run, error) {
 		j := jobs[i]
@@ -56,75 +84,30 @@ func (e Experiment) runSeedJobs(jobs []seedJob) ([]*stats.Run, error) {
 	})
 }
 
-// baseConfig derives the scaled machine configuration every execution
-// path (grid cells, sweep points, Table 3) starts from, so the quota
-// and warm-up rules cannot drift between them.
-func (e Experiment) baseConfig(bench, proto, network string) system.Config {
-	cfg := system.DefaultConfig(proto, network)
-	cfg.Nodes = e.Nodes
-	cfg.WarmupPerCPU = scale(cfg.WarmupPerCPU, e.WarmupScale)
-	cfg.MeasurePerCPU = scale(workload.MeasureQuota(bench), e.QuotaScale)
-	return cfg
-}
-
-// applyQuotas overrides the scaled quota defaults with a workload's own
-// phase quotas when it carries them (recorded traces). Trace quotas are
-// used verbatim — scaling happened when the trace was recorded, or via
-// the Window transform — so a replayed cell consumes its streams
-// exactly.
-func applyQuotas(cfg *system.Config, gen workload.Generator) {
-	if q, ok := gen.(workload.Quotaed); ok {
-		cfg.WarmupPerCPU, cfg.MeasurePerCPU = q.Quotas()
-	}
-}
-
 // runSeed executes one perturbed run of a cell on a fresh generator.
+// Per-cell seeds count up from the base spec's Seed (default 1), so a
+// -seed flag shifts the whole window.
 func (e Experiment) runSeed(c Cell, gen workload.Generator, seed int) (*stats.Run, error) {
-	cfg := e.baseConfig(c.Benchmark, c.Protocol, c.Network)
-	applyQuotas(&cfg, gen)
-	cfg.Seed = uint64(seed + 1)
+	s := e.cellSpec(c.Benchmark, c.Protocol, c.Network)
+	s.Seed += uint64(seed)
 	if e.Seeds > 1 {
-		cfg.PerturbMax = e.PerturbMax
+		s.PerturbNS = int64(e.PerturbMax / sim.Nanosecond)
 	}
-	s, err := system.Build(cfg, gen)
+	cfg, err := s.ConfigFor(gen)
 	if err != nil {
 		return nil, err
 	}
-	return s.Execute(), nil
+	sys, err := system.Build(cfg, gen)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Execute(), nil
 }
 
 // BestOf picks the minimum-runtime run — the paper's reporting rule ("we
 // report the minimum run time from a set of runs") — keeping the
 // earliest run on ties. Returns nil for no runs.
-func BestOf(runs []*stats.Run) *stats.Run {
-	var best *stats.Run
-	for _, r := range runs {
-		if best == nil || r.Runtime < best.Runtime {
-			best = r
-		}
-	}
-	return best
-}
-
-// pointSpec is one sweep measurement: a labelled (benchmark, protocol,
-// network) point with an optional config mutation, run under exp (sweeps
-// override fields such as Nodes per point).
-type pointSpec struct {
-	exp     Experiment
-	label   string
-	bench   string
-	proto   string
-	network string
-	mutate  func(*system.Config)
-}
-
-// runPoints evaluates the specs across the pool, results in spec order.
-func (e Experiment) runPoints(specs []pointSpec) ([]SweepPoint, error) {
-	return parallel.Map(e.workers(), len(specs), func(i int) (SweepPoint, error) {
-		s := specs[i]
-		return s.exp.runPoint(s.label, s.bench, s.proto, s.network, s.mutate)
-	})
-}
+func BestOf(runs []*stats.Run) *stats.Run { return stats.Best(runs) }
 
 // lookupGen is ByName with the error the harness reports for unknown
 // benchmark names. Names may use any registered scheme (trace:<path>).

@@ -1,0 +1,102 @@
+package harness
+
+// Streaming experiment execution. Grids and sweeps run as Go iterators
+// over the worker pool: results arrive in presentation order the moment
+// they are ready, so callers render live progress and cancel early via
+// context, while collecting the full sequence remains byte-identical to
+// the serial path. RunGrid and the sweep renderers are thin collectors
+// over these streams.
+
+import (
+	"context"
+	"encoding/json"
+	"iter"
+
+	"tsnoop/internal/parallel"
+	"tsnoop/internal/stats"
+	"tsnoop/internal/workload"
+)
+
+// failSeq yields a single error.
+func failSeq[T any](err error) iter.Seq2[T, error] {
+	return func(yield func(T, error) bool) {
+		var zero T
+		yield(zero, err)
+	}
+}
+
+// StreamGrid executes every benchmark x protocol cell for one network
+// and yields each CellResult in presentation order as soon as its
+// perturbed seeds finish. The full benchmark x protocol x seed job list
+// fans out across the worker pool, so no worker idles waiting for a
+// slow cell's seeds; collecting the stream is byte-identical at any
+// worker count. Cancelling ctx stops new simulations and yields the
+// context error.
+func (e Experiment) StreamGrid(ctx context.Context, network string) iter.Seq2[CellResult, error] {
+	seeds := e.seeds()
+	var cells []Cell
+	var jobs []seedJob
+	for _, b := range e.benchmarks() {
+		gen, err := lookupGen(b, e.Nodes)
+		if err != nil {
+			return failSeq[CellResult](err)
+		}
+		for _, p := range e.protocols() {
+			c := Cell{Benchmark: b, Protocol: p, Network: network}
+			cells = append(cells, c)
+			for seed := 0; seed < seeds; seed++ {
+				jobs = append(jobs, seedJob{cell: c, gen: gen, seed: seed})
+			}
+		}
+	}
+	if err := checkCloneable(jobs); err != nil {
+		return failSeq[CellResult](err)
+	}
+	return func(yield func(CellResult, error) bool) {
+		buf := make([]*stats.Run, 0, seeds)
+		cell := 0
+		for run, err := range parallel.Stream(ctx, e.workers(), len(jobs), func(i int) (*stats.Run, error) {
+			j := jobs[i]
+			return e.runSeed(j.cell, workload.CloneOf(j.gen), j.seed)
+		}) {
+			if err != nil {
+				yield(CellResult{}, err)
+				return
+			}
+			buf = append(buf, run)
+			if len(buf) == seeds {
+				if !yield(CellResult{Cell: cells[cell], Best: BestOf(buf)}, nil) {
+					return
+				}
+				cell++
+				buf = buf[:0]
+			}
+		}
+	}
+}
+
+// NewGrid returns an empty grid for a network, ready to Add streamed
+// cell results. benchmarks fixes the presentation order (nil = the
+// paper's five).
+func NewGrid(network string, benchmarks []string) *Grid {
+	return &Grid{Network: network, Benchmarks: benchmarks, Cells: map[string]map[string]CellResult{}}
+}
+
+// Add records one streamed cell result in the grid.
+func (g *Grid) Add(cr CellResult) {
+	if g.Cells[cr.Cell.Benchmark] == nil {
+		g.Cells[cr.Cell.Benchmark] = map[string]CellResult{}
+	}
+	g.Cells[cr.Cell.Benchmark][cr.Cell.Protocol] = cr
+}
+
+// MarshalJSON renders a cell result as a flat object with stable field
+// names — one line of tsnoop's streaming -json output.
+func (cr CellResult) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Benchmark string     `json:"benchmark"`
+		Protocol  string     `json:"protocol"`
+		Network   string     `json:"network"`
+		Run       *stats.Run `json:"run"`
+	}{cr.Cell.Benchmark, cr.Cell.Protocol, cr.Cell.Network, cr.Best})
+}

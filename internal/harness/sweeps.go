@@ -1,151 +1,250 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"iter"
 	"strings"
 
+	"tsnoop/internal/parallel"
+	"tsnoop/internal/sim"
+	"tsnoop/internal/spec"
 	"tsnoop/internal/system"
 )
 
 // SweepPoint is one (configuration, protocol) measurement in a sweep.
 type SweepPoint struct {
-	Label      string
-	Protocol   string
-	RuntimePS  int64
-	LinkBytes  int64
-	ThreeHopPc float64
+	Label      string  `json:"label"`
+	Protocol   string  `json:"protocol"`
+	RuntimePS  int64   `json:"runtime_ps"`
+	LinkBytes  int64   `json:"link_bytes"`
+	ThreeHopPc float64 `json:"three_hop_pct"`
 }
 
-// runPoint executes one configuration for one protocol with DSS-like
-// default settings on a chosen benchmark.
-func (e Experiment) runPoint(label, bench, proto, network string, mutate func(*system.Config)) (SweepPoint, error) {
-	gen, err := lookupGen(bench, e.Nodes)
+// PointSpec is one sweep measurement: a labelled, fully declarative
+// experiment spec (sweeps override fields such as Nodes or BlockBytes
+// per point — no mutation hooks).
+type PointSpec struct {
+	Label string
+	Spec  spec.Spec
+}
+
+// runPoint executes one measurement: the point spec's seed fan-out
+// (Seeds perturbed copies, minimum runtime reported) runs serially
+// inside this job — the point pool owns the parallelism.
+func runPoint(p PointSpec) (SweepPoint, error) {
+	s := p.Spec
+	s.Workers = 1
+	run, err := s.Run()
 	if err != nil {
-		return SweepPoint{}, err
+		return SweepPoint{}, fmt.Errorf("harness: %w", err)
 	}
-	cfg := e.baseConfig(bench, proto, network)
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	if cfg.Nodes != e.Nodes {
-		if gen, err = lookupGen(bench, cfg.Nodes); err != nil {
-			return SweepPoint{}, err
-		}
-	}
-	applyQuotas(&cfg, gen)
-	s, err := system.Build(cfg, gen)
-	if err != nil {
-		return SweepPoint{}, err
-	}
-	run := s.Execute()
 	return SweepPoint{
-		Label:      label,
-		Protocol:   proto,
+		Label:      p.Label,
+		Protocol:   p.Spec.Protocol,
 		RuntimePS:  int64(run.Runtime),
 		LinkBytes:  run.Traffic.TotalLinkBytes(),
 		ThreeHopPc: 100 * run.CacheToCacheFraction(),
 	}, nil
 }
 
-// NodesSweep measures how machine size shifts the snooping/directory
-// bandwidth trade-off (Section 5: "at larger numbers of processors,
-// directory protocols ... become increasingly attractive"). It returns the
-// TS/DirOpt traffic ratio per machine size on the butterfly.
-func (e Experiment) NodesSweep(bench string) (string, error) {
-	sizes := []int{4, 16, 64}
-	var specs []pointSpec
-	for _, nodes := range sizes {
-		exp := e
-		exp.Nodes = nodes
-		label := fmt.Sprintf("n%d", nodes)
-		specs = append(specs,
-			pointSpec{exp: exp, label: label, bench: bench, proto: system.ProtoTSSnoop, network: system.NetButterfly},
-			pointSpec{exp: exp, label: label, bench: bench, proto: system.ProtoDirOpt, network: system.NetButterfly})
-	}
-	pts, err := e.runPoints(specs)
-	if err != nil {
-		return "", err
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "Machine-size sweep (%s, butterfly): TS-Snoop vs DirOpt\n", bench)
-	fmt.Fprintf(&b, "%6s %16s %16s %14s\n", "nodes", "runtime-ratio", "traffic-ratio", "TS 3-hop(%)")
-	for i, nodes := range sizes {
-		ts, dir := pts[2*i], pts[2*i+1]
-		fmt.Fprintf(&b, "%6d %16.3f %16.3f %13.0f%%\n",
-			nodes, float64(dir.RuntimePS)/float64(ts.RuntimePS),
-			float64(ts.LinkBytes)/float64(dir.LinkBytes), ts.ThreeHopPc)
-	}
-	return b.String(), nil
+// StreamPoints evaluates the specs across the worker pool, yielding
+// results in spec order as they complete; collecting the stream is
+// byte-identical at any worker count. Cancelling ctx stops new
+// measurements.
+func (e Experiment) StreamPoints(ctx context.Context, specs []PointSpec) iter.Seq2[SweepPoint, error] {
+	return parallel.Stream(ctx, e.workers(), len(specs), func(i int) (SweepPoint, error) {
+		return runPoint(specs[i])
+	})
 }
 
-// BlockSizeSweep measures the effect of doubling the block size (Section
-// 5: the extra-bandwidth bound drops from 60% to 33% on the butterfly).
-func (e Experiment) BlockSizeSweep(bench string) (string, error) {
-	blocks := []int{64, 128}
-	var specs []pointSpec
-	for _, block := range blocks {
-		mutate := func(c *system.Config) {
-			c.Cache.BlockBytes = block
-			c.Cache.SizeBytes = 4 << 20
-		}
-		label := fmt.Sprintf("b%d", block)
-		specs = append(specs,
-			pointSpec{exp: e, label: label, bench: bench, proto: system.ProtoTSSnoop, network: system.NetButterfly, mutate: mutate},
-			pointSpec{exp: e, label: label, bench: bench, proto: system.ProtoDirOpt, network: system.NetButterfly, mutate: mutate})
-	}
-	pts, err := e.runPoints(specs)
-	if err != nil {
-		return "", err
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "Block-size sweep (%s, butterfly): TS-Snoop traffic vs DirOpt\n", bench)
-	fmt.Fprintf(&b, "%7s %16s %18s\n", "block", "traffic-ratio", "analytic bound")
-	for i, block := range blocks {
-		ts, dir := pts[2*i], pts[2*i+1]
-		env, err := Envelope(system.NetButterfly, e.Nodes, block)
+// runPoints collects StreamPoints.
+func (e Experiment) runPoints(specs []PointSpec) ([]SweepPoint, error) {
+	pts := make([]SweepPoint, 0, len(specs))
+	for pt, err := range e.StreamPoints(context.Background(), specs) {
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		fmt.Fprintf(&b, "%7d %16.3f %17.0f%%\n",
-			block, float64(ts.LinkBytes)/float64(dir.LinkBytes), env.ExtraBoundPc)
+		pts = append(pts, pt)
 	}
-	return b.String(), nil
+	return pts, nil
 }
 
-// AblationReport compares the timestamp-snooping design knobs: initial
-// slack, prefetch (optimization 1), early processing
-// (optimization 2), and tokens per port.
-func (e Experiment) AblationReport(bench, network string) (string, error) {
-	type knob struct {
-		label  string
-		mutate func(*system.Config)
+// Sweep is one named sensitivity sweep: the labelled points to measure,
+// and a renderer that is a pure view over the measured points (so a
+// caller may stream the points itself — for progress reporting or JSON
+// output — and render afterwards).
+type Sweep struct {
+	Kind   string
+	Points []PointSpec
+	render func([]SweepPoint) (string, error)
+}
+
+// Render renders measured points (in Points order) as the sweep's text
+// report.
+func (s *Sweep) Render(pts []SweepPoint) (string, error) {
+	if len(pts) != len(s.Points) {
+		return "", fmt.Errorf("harness: %s sweep rendered with %d of %d points", s.Kind, len(pts), len(s.Points))
 	}
-	knobs := []knob{
-		{"baseline (S=1, prefetch on, opt2 off)", nil},
-		{"slack S=0", func(c *system.Config) { c.InitialSlack = 0 }},
-		{"slack S=4", func(c *system.Config) { c.InitialSlack = 4 }},
-		{"no prefetch (opt 1 off)", func(c *system.Config) { c.Prefetch = false }},
-		{"early processing (opt 2 on)", func(c *system.Config) { c.EarlyProcessing = true }},
-		{"tokens per port = 2", func(c *system.Config) { c.TokensPerPort = 2 }},
-		{"MOSI (Owned state)", func(c *system.Config) { c.UseOwnedState = true }},
-		{"multicast snooping", func(c *system.Config) { c.Multicast = true }},
-		{"multicast, 32-entry predictor", func(c *system.Config) { c.Multicast = true; c.PredictorSize = 32 }},
-		{"multicast + MOSI", func(c *system.Config) { c.Multicast = true; c.UseOwnedState = true }},
-		{"contention modelled", func(c *system.Config) { c.Contention = true }},
+	return s.render(pts)
+}
+
+// SweepKinds lists the measured sweep kinds NewSweep accepts (the
+// Section 5 analytic envelope is RenderEnvelope, no simulation).
+func SweepKinds() []string { return []string{"nodes", "blocksize", "ablation"} }
+
+// NewSweep builds the named sweep over a benchmark (and, for the
+// ablation sweep, a network).
+func (e Experiment) NewSweep(kind, bench, network string) (*Sweep, error) {
+	switch kind {
+	case "nodes":
+		return e.nodesSweep(bench), nil
+	case "blocksize":
+		return e.blockSizeSweep(bench), nil
+	case "ablation":
+		return e.ablationSweep(bench, network), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown sweep %q (have %s)", kind, strings.Join(SweepKinds(), ", "))
 	}
-	specs := make([]pointSpec, len(knobs))
-	for i, k := range knobs {
-		specs[i] = pointSpec{exp: e, label: k.label, bench: bench, proto: system.ProtoTSSnoop, network: network, mutate: k.mutate}
-	}
-	pts, err := e.runPoints(specs)
+}
+
+// RunSweep measures and renders a sweep.
+func (e Experiment) RunSweep(s *Sweep) (string, error) {
+	pts, err := e.runPoints(s.Points)
 	if err != nil {
 		return "", err
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "TS-Snoop ablations (%s, %s)\n", bench, network)
-	fmt.Fprintf(&b, "%-38s %14s %16s\n", "variant", "runtime", "link bytes")
-	for _, pt := range pts {
-		fmt.Fprintf(&b, "%-38s %14d %16d\n", pt.Label, pt.RuntimePS, pt.LinkBytes)
+	return s.Render(pts)
+}
+
+// pointBase derives the spec a sweep point starts from: the cell spec
+// plus the experiment's seed fan-out (unlike grid cells, whose seeds
+// the engine enumerates itself, a sweep point carries its own Seeds and
+// perturbation and reports the minimum runtime).
+func (e Experiment) pointBase(bench, proto, network string) spec.Spec {
+	s := e.cellSpec(bench, proto, network)
+	s.Seeds = e.seeds()
+	if s.Seeds > 1 {
+		s.PerturbNS = int64(e.PerturbMax / sim.Nanosecond)
 	}
-	return b.String(), nil
+	return s
+}
+
+// nodesSweep measures how machine size shifts the snooping/directory
+// bandwidth trade-off (Section 5: "at larger numbers of processors,
+// directory protocols ... become increasingly attractive"): the TS/DirOpt
+// traffic ratio per machine size on the butterfly.
+func (e Experiment) nodesSweep(bench string) *Sweep {
+	sizes := []int{4, 16, 64}
+	var points []PointSpec
+	for _, nodes := range sizes {
+		label := fmt.Sprintf("n%d", nodes)
+		ts := e.pointBase(bench, system.ProtoTSSnoop, system.NetButterfly)
+		ts.Nodes = nodes
+		dir := ts
+		dir.Protocol = system.ProtoDirOpt
+		points = append(points, PointSpec{Label: label, Spec: ts}, PointSpec{Label: label, Spec: dir})
+	}
+	render := func(pts []SweepPoint) (string, error) {
+		var b strings.Builder
+		fmt.Fprintf(&b, "Machine-size sweep (%s, butterfly): TS-Snoop vs DirOpt\n", bench)
+		fmt.Fprintf(&b, "%6s %16s %16s %14s\n", "nodes", "runtime-ratio", "traffic-ratio", "TS 3-hop(%)")
+		for i, nodes := range sizes {
+			ts, dir := pts[2*i], pts[2*i+1]
+			fmt.Fprintf(&b, "%6d %16.3f %16.3f %13.0f%%\n",
+				nodes, float64(dir.RuntimePS)/float64(ts.RuntimePS),
+				float64(ts.LinkBytes)/float64(dir.LinkBytes), ts.ThreeHopPc)
+		}
+		return b.String(), nil
+	}
+	return &Sweep{Kind: "nodes", Points: points, render: render}
+}
+
+// NodesSweep measures and renders the machine-size sweep.
+func (e Experiment) NodesSweep(bench string) (string, error) {
+	return e.RunSweep(e.nodesSweep(bench))
+}
+
+// blockSizeSweep measures the effect of doubling the block size (Section
+// 5: the extra-bandwidth bound drops from 60% to 33% on the butterfly).
+func (e Experiment) blockSizeSweep(bench string) *Sweep {
+	blocks := []int{64, 128}
+	var points []PointSpec
+	for _, block := range blocks {
+		label := fmt.Sprintf("b%d", block)
+		ts := e.pointBase(bench, system.ProtoTSSnoop, system.NetButterfly)
+		ts.BlockBytes = block
+		ts.CacheBytes = 4 << 20
+		dir := ts
+		dir.Protocol = system.ProtoDirOpt
+		points = append(points, PointSpec{Label: label, Spec: ts}, PointSpec{Label: label, Spec: dir})
+	}
+	nodes := e.Nodes
+	render := func(pts []SweepPoint) (string, error) {
+		var b strings.Builder
+		fmt.Fprintf(&b, "Block-size sweep (%s, butterfly): TS-Snoop traffic vs DirOpt\n", bench)
+		fmt.Fprintf(&b, "%7s %16s %18s\n", "block", "traffic-ratio", "analytic bound")
+		for i, block := range blocks {
+			ts, dir := pts[2*i], pts[2*i+1]
+			env, err := Envelope(system.NetButterfly, nodes, block)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%7d %16.3f %17.0f%%\n",
+				block, float64(ts.LinkBytes)/float64(dir.LinkBytes), env.ExtraBoundPc)
+		}
+		return b.String(), nil
+	}
+	return &Sweep{Kind: "blocksize", Points: points, render: render}
+}
+
+// BlockSizeSweep measures and renders the block-size sweep.
+func (e Experiment) BlockSizeSweep(bench string) (string, error) {
+	return e.RunSweep(e.blockSizeSweep(bench))
+}
+
+// ablationSweep compares the timestamp-snooping design knobs: initial
+// slack, prefetch (optimization 1), early processing (optimization 2),
+// tokens per port, and the Section 3/7 extensions. Each variant is the
+// baseline spec with declarative options applied.
+func (e Experiment) ablationSweep(bench, network string) *Sweep {
+	knobs := []struct {
+		label string
+		opts  []spec.Option
+	}{
+		{"baseline (S=1, prefetch on, opt2 off)", nil},
+		{"slack S=0", []spec.Option{spec.WithSlack(0)}},
+		{"slack S=4", []spec.Option{spec.WithSlack(4)}},
+		{"no prefetch (opt 1 off)", []spec.Option{spec.WithoutPrefetch()}},
+		{"early processing (opt 2 on)", []spec.Option{spec.WithEarlyProcessing()}},
+		{"tokens per port = 2", []spec.Option{spec.WithTokensPerPort(2)}},
+		{"MOSI (Owned state)", []spec.Option{spec.WithMOSI()}},
+		{"multicast snooping", []spec.Option{spec.WithMulticast()}},
+		{"multicast, 32-entry predictor", []spec.Option{spec.WithMulticast(), spec.WithPredictorSize(32)}},
+		{"multicast + MOSI", []spec.Option{spec.WithMulticast(), spec.WithMOSI()}},
+		{"contention modelled", []spec.Option{spec.WithContention()}},
+	}
+	points := make([]PointSpec, len(knobs))
+	for i, k := range knobs {
+		s := e.pointBase(bench, system.ProtoTSSnoop, network)
+		for _, opt := range k.opts {
+			opt(&s)
+		}
+		points[i] = PointSpec{Label: k.label, Spec: s}
+	}
+	render := func(pts []SweepPoint) (string, error) {
+		var b strings.Builder
+		fmt.Fprintf(&b, "TS-Snoop ablations (%s, %s)\n", bench, network)
+		fmt.Fprintf(&b, "%-38s %14s %16s\n", "variant", "runtime", "link bytes")
+		for _, pt := range pts {
+			fmt.Fprintf(&b, "%-38s %14d %16d\n", pt.Label, pt.RuntimePS, pt.LinkBytes)
+		}
+		return b.String(), nil
+	}
+	return &Sweep{Kind: "ablation", Points: points, render: render}
+}
+
+// AblationReport measures and renders the design-knob ablations.
+func (e Experiment) AblationReport(bench, network string) (string, error) {
+	return e.RunSweep(e.ablationSweep(bench, network))
 }

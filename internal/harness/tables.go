@@ -221,8 +221,10 @@ func (e Experiment) Table3() ([]Table3Row, error) {
 		if err != nil {
 			return Table3Row{}, err
 		}
-		cfg := e.baseConfig(name, system.ProtoDirOpt, system.NetButterfly)
-		applyQuotas(&cfg, gen)
+		cfg, err := e.cellSpec(name, system.ProtoDirOpt, system.NetButterfly).ConfigFor(gen)
+		if err != nil {
+			return Table3Row{}, err
+		}
 		s, err := system.Build(cfg, gen)
 		if err != nil {
 			return Table3Row{}, err

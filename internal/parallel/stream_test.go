@@ -1,0 +1,148 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func collect2(t *testing.T, workers, n int, fn func(int) (int, error)) ([]int, error) {
+	t.Helper()
+	var out []int
+	for v, err := range Stream(context.Background(), workers, n, fn) {
+		if err != nil {
+			return out, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func TestStreamMatchesMap(t *testing.T) {
+	fn := func(i int) (int, error) { return i * i, nil }
+	want, err := Map(1, 50, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		got, err := collect2(t, workers, 50, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStreamYieldsInIndexOrder(t *testing.T) {
+	// Later indexes finish first; the stream must still yield in order.
+	got, err := collect2(t, 8, 20, func(i int) (int, error) {
+		time.Sleep(time.Duration(20-i) * time.Millisecond / 4)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+}
+
+func TestStreamLowestErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		got, err := collect2(t, workers, 30, func(i int) (int, error) {
+			calls.Add(1)
+			if i == 3 || i == 7 {
+				return 0, fmt.Errorf("%w at %d", boom, i)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) || err.Error() != "boom at 3" {
+			t.Fatalf("workers=%d: err = %v, want boom at 3", workers, err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("workers=%d: yielded %v before the error", workers, got)
+		}
+	}
+}
+
+func TestStreamEarlyBreakStopsClaiming(t *testing.T) {
+	var calls atomic.Int64
+	seen := 0
+	for v, err := range Stream(context.Background(), 2, 1000, func(i int) (int, error) {
+		calls.Add(1)
+		time.Sleep(time.Millisecond)
+		return i, nil
+	}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = v
+		if seen++; seen == 5 {
+			break
+		}
+	}
+	// In-flight jobs may finish, but the break must stop the claims long
+	// before all 1000 run.
+	if c := calls.Load(); c >= 1000 {
+		t.Fatalf("early break still ran all %d jobs", c)
+	}
+}
+
+func TestStreamContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var yielded int
+	var lastErr error
+	for v, err := range Stream(ctx, 4, 100, func(i int) (int, error) {
+		time.Sleep(time.Millisecond)
+		return i, nil
+	}) {
+		if err != nil {
+			lastErr = err
+			break
+		}
+		_ = v
+		if yielded++; yielded == 3 {
+			cancel()
+		}
+	}
+	if !errors.Is(lastErr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", lastErr)
+	}
+}
+
+func TestStreamPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var lastErr error
+		var ran atomic.Int64
+		for _, err := range Stream(ctx, workers, 10, func(i int) (int, error) {
+			ran.Add(1)
+			return i, nil
+		}) {
+			lastErr = err
+		}
+		if !errors.Is(lastErr, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, lastErr)
+		}
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	got, err := collect2(t, 4, 0, func(i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty stream: %v, %v", got, err)
+	}
+}

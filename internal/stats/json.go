@@ -1,0 +1,100 @@
+package stats
+
+import "encoding/json"
+
+// This file gives Run a stable machine-readable rendering. The JSON
+// field names are a public contract (tsnoop's -json output and the
+// golden tests depend on them): add fields if the Run grows, but never
+// rename or reorder the existing ones.
+
+// jsonLatency mirrors Latency for marshalling.
+type jsonLatency struct {
+	Count  int64 `json:"count"`
+	MeanPS int64 `json:"mean_ps"`
+	MinPS  int64 `json:"min_ps"`
+	MaxPS  int64 `json:"max_ps"`
+}
+
+func latencyJSON(l Latency) jsonLatency {
+	return jsonLatency{Count: l.Count(), MeanPS: int64(l.Mean()), MinPS: int64(l.Min()), MaxPS: int64(l.Max())}
+}
+
+// jsonClass mirrors one traffic class for marshalling.
+type jsonClass struct {
+	LinkBytes int64 `json:"link_bytes"`
+	Messages  int64 `json:"messages"`
+}
+
+// jsonRun is the marshalled shape of a Run.
+type jsonRun struct {
+	RuntimePS    int64 `json:"runtime_ps"`
+	Instructions int64 `json:"instructions"`
+	MemOps       int64 `json:"mem_ops"`
+	L2Hits       int64 `json:"l2_hits"`
+
+	MissesFromMemory   int64 `json:"misses_from_memory"`
+	MissesCacheToCache int64 `json:"misses_cache_to_cache"`
+	MissesUpgrade      int64 `json:"misses_upgrade"`
+	Retries            int64 `json:"retries"`
+
+	MissLatency         jsonLatency `json:"miss_latency"`
+	CacheToCacheLatency jsonLatency `json:"cache_to_cache_latency"`
+	MemoryLatency       jsonLatency `json:"memory_latency"`
+	OrderingDelay       jsonLatency `json:"ordering_delay"`
+
+	TrafficTotalLinkBytes int64     `json:"traffic_total_link_bytes"`
+	TrafficData           jsonClass `json:"traffic_data"`
+	TrafficRequest        jsonClass `json:"traffic_request"`
+	TrafficNack           jsonClass `json:"traffic_nack"`
+	TrafficMisc           jsonClass `json:"traffic_misc"`
+
+	DataTouched          int64 `json:"data_touched_bytes"`
+	EarlyProcessed       int64 `json:"early_processed"`
+	ReorderOccupancyPeak int   `json:"reorder_occupancy_peak"`
+}
+
+// MarshalJSON renders the run under stable snake_case field names.
+func (r *Run) MarshalJSON() ([]byte, error) {
+	class := func(c Class) jsonClass {
+		return jsonClass{LinkBytes: r.Traffic.LinkBytes(c), Messages: r.Traffic.Messages(c)}
+	}
+	return json.Marshal(jsonRun{
+		RuntimePS:    int64(r.Runtime),
+		Instructions: r.Instructions,
+		MemOps:       r.MemOps,
+		L2Hits:       r.L2Hits,
+
+		MissesFromMemory:   r.Misses(MissFromMemory),
+		MissesCacheToCache: r.Misses(MissCacheToCache),
+		MissesUpgrade:      r.Misses(MissUpgrade),
+		Retries:            r.Retries,
+
+		MissLatency:         latencyJSON(r.MissLatency),
+		CacheToCacheLatency: latencyJSON(r.CacheToCacheLatency),
+		MemoryLatency:       latencyJSON(r.MemoryLatency),
+		OrderingDelay:       latencyJSON(r.OrderingDelay),
+
+		TrafficTotalLinkBytes: r.Traffic.TotalLinkBytes(),
+		TrafficData:           class(ClassData),
+		TrafficRequest:        class(ClassRequest),
+		TrafficNack:           class(ClassNack),
+		TrafficMisc:           class(ClassMisc),
+
+		DataTouched:          r.DataTouched,
+		EarlyProcessed:       r.EarlyProcessed,
+		ReorderOccupancyPeak: r.ReorderOccupancy.Max(),
+	})
+}
+
+// Best picks the minimum-runtime run — the paper's reporting rule ("we
+// report the minimum run time from a set of runs") — keeping the
+// earliest run on ties. Returns nil for no runs.
+func Best(runs []*Run) *Run {
+	var best *Run
+	for _, r := range runs {
+		if best == nil || r.Runtime < best.Runtime {
+			best = r
+		}
+	}
+	return best
+}

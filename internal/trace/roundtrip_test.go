@@ -50,17 +50,12 @@ func TestReplayMatchesLiveRun(t *testing.T) {
 		for _, seed := range []uint64{1, 7} {
 			traceName := recordBench(t, dir, bench, 16, seed)
 			for _, proto := range []string{core.TSSnoop, core.DirClassic, core.DirOpt} {
-				live, err := core.RunBenchmark(bench, proto, core.Butterfly, func(c *core.Config) {
-					c.WarmupPerCPU = rtWarmup
-					c.MeasurePerCPU = rtMeasure
-					c.Seed = seed
-				})
+				live, err := core.New(bench, core.WithProtocol(proto),
+					core.WithWarmup(rtWarmup), core.WithQuota(rtMeasure), core.WithSeed(seed)).Run()
 				if err != nil {
 					t.Fatal(err)
 				}
-				replay, err := core.RunBenchmark(traceName, proto, core.Butterfly, func(c *core.Config) {
-					c.Seed = seed
-				})
+				replay, err := core.New(traceName, core.WithProtocol(proto), core.WithSeed(seed)).Run()
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -190,10 +185,8 @@ func TestExplicitQuotaBeatsTraceQuota(t *testing.T) {
 	if err := tr.WriteFile(path, 0); err != nil {
 		t.Fatal(err)
 	}
-	run, err := core.RunBenchmark("trace:"+path, core.TSSnoop, core.Butterfly, func(c *core.Config) {
-		c.Nodes = 4
-		c.MeasurePerCPU = 2500 // deliberately equal to the scheme default
-	})
+	run, err := core.New("trace:"+path, core.WithNodes(4),
+		core.WithQuota(2500)).Run() // quota deliberately equal to the scheme default
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,10 +197,9 @@ func TestExplicitQuotaBeatsTraceQuota(t *testing.T) {
 
 	// A quota beyond the recording would wrap the stream and silently
 	// measure re-walked data; that must be an error, not bogus stats.
-	if _, err := core.RunBenchmark("trace:"+path, core.TSSnoop, core.Butterfly, func(c *core.Config) {
-		c.Nodes = 4
-		c.MeasurePerCPU = 3000 // recording holds 100+2600 per cpu
-	}); err == nil || !strings.Contains(err.Error(), "wrapped") {
+	if _, err := core.New("trace:"+path, core.WithNodes(4),
+		core.WithQuota(3000)).Run(); // recording holds 100+2600 per cpu
+	err == nil || !strings.Contains(err.Error(), "wrapped") {
 		t.Fatalf("over-quota replay: err = %v, want wrap error", err)
 	}
 }

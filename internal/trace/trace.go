@@ -15,10 +15,10 @@
 // internal/parallel worker pool.
 //
 // Traces plug into everything above them: workload.ByName resolves
-// "trace:<path>" names (registered here), so core.RunBenchmark,
-// harness.Experiment grids, and every cmd tool accept trace-backed
-// workloads unchanged. The cmd/tstrace tool surfaces record / replay /
-// stat / transform on the command line.
+// "trace:<path>" names (registered here), so spec.Spec runs,
+// harness.Experiment grids, and the tsnoop CLI accept trace-backed
+// workloads unchanged. The "tsnoop trace" subcommand surfaces record /
+// replay / stat / transform on the command line.
 package trace
 
 import (
@@ -190,7 +190,7 @@ var (
 )
 
 // resolved caches traces decoded by the "trace:<path>" scheme:
-// repeated resolutions of the same file (e.g. core.RunBest's per-seed
+// repeated resolutions of the same file (e.g. a Spec run's per-seed
 // lookups, fanned out concurrently) share one decode and its streams,
 // which Replayers never mutate. Entries are keyed by (path, mtime,
 // size), so rewriting a trace file in place invalidates the stale
