@@ -6,8 +6,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"iter"
 
 	"tsnoop/internal/harness"
+	"tsnoop/internal/service"
 	"tsnoop/internal/spec"
 	"tsnoop/internal/system"
 )
@@ -34,6 +36,7 @@ var gridCmd = &command{
 		figure := fs.Int("figure", 3, "figure number (3 = runtime, 4 = traffic)")
 		progress := fs.Bool("progress", false, "report per-cell completion on stderr")
 		jsonOut := fs.Bool("json", false, "stream cell results as JSON lines instead of rendering")
+		cacheDir := fs.String("cache", "", "serve and record cells through this content-addressed store directory")
 		return func(ctx context.Context, stdout, stderr io.Writer) error {
 			if *figure != 3 && *figure != 4 {
 				return fmt.Errorf("unknown figure %d (have 3 and 4)", *figure)
@@ -54,8 +57,21 @@ var gridCmd = &command{
 			if len(e.Protocols) > 0 && !*jsonOut {
 				return fmt.Errorf("grid -protocol requires -json (the figures need all three protocols)")
 			}
+			var sv *service.Service
+			if *cacheDir != "" {
+				if sv, err = newCacheService(ctx, *cacheDir, s.Workers); err != nil {
+					return err
+				}
+			}
 			for _, net := range nets {
-				g, err := streamGrid(ctx, e, net, *progress, *jsonOut, stdout, stderr)
+				stream := e.StreamGrid(ctx, net)
+				if sv != nil {
+					// Each cell goes through the result store: cells
+					// computed on any earlier run (or by a server sharing
+					// the directory) render without simulation.
+					stream = sv.StreamGrid(ctx, e, net)
+				}
+				g, err := streamGrid(stream, e, net, *progress, *jsonOut, stdout, stderr)
 				if err != nil {
 					return err
 				}
@@ -84,12 +100,12 @@ var gridCmd = &command{
 
 // streamGrid drives one network's grid stream, reporting progress and
 // JSON lines as requested, and returns the assembled grid.
-func streamGrid(ctx context.Context, e harness.Experiment, network string, progress, jsonOut bool, stdout, stderr io.Writer) (*harness.Grid, error) {
+func streamGrid(stream iter.Seq2[harness.CellResult, error], e harness.Experiment, network string, progress, jsonOut bool, stdout, stderr io.Writer) (*harness.Grid, error) {
 	benchmarks := e.BenchmarkNames()
 	total := len(benchmarks) * len(e.ProtocolNames())
 	g := harness.NewGrid(network, benchmarks)
 	done := 0
-	for cr, err := range e.StreamGrid(ctx, network) {
+	for cr, err := range stream {
 		if err != nil {
 			return nil, err
 		}

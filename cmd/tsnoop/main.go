@@ -10,12 +10,20 @@
 //	tsnoop tables  -table 2
 //	tsnoop check   -seeds 20 -ops 200
 //	tsnoop trace   record -benchmark OLTP -o oltp.tstrace
+//	tsnoop serve   -addr localhost:8177 -cache ~/.cache/tsnoop
+//	tsnoop submit  -addr http://localhost:8177 -benchmark OLTP
 //
 // Grid and sweep subcommands stream their cells from the concurrent
 // engine: -progress reports per-cell completion on stderr as results
 // arrive, -json emits machine-readable results (one JSON object per
 // cell), and an interrupt (Ctrl-C) cancels cleanly without losing the
 // cells already printed.
+//
+// serve exposes the same experiments over HTTP, backed by a
+// content-addressed result store and a dedup job queue (see
+// internal/service); run, grid, and sweep accept -cache DIR to hit the
+// same store locally, so repeated figure reproduction skips every
+// already-computed cell.
 package main
 
 import (
@@ -51,7 +59,7 @@ type command struct {
 	raw      func(ctx context.Context, args []string, stdout, stderr io.Writer) error
 }
 
-var commands = []*command{runCmd, gridCmd, sweepCmd, tablesCmd, checkCmd, traceCmd}
+var commands = []*command{runCmd, gridCmd, sweepCmd, tablesCmd, checkCmd, traceCmd, serveCmd, submitCmd, versionCmd}
 
 func findCommand(name string) *command {
 	for _, c := range commands {
@@ -97,6 +105,9 @@ func main() {
 	if len(os.Args) < 2 || os.Args[1] == "help" || os.Args[1] == "-h" || os.Args[1] == "-help" || os.Args[1] == "--help" {
 		usage(os.Stderr)
 		os.Exit(2)
+	}
+	if os.Args[1] == "-version" || os.Args[1] == "--version" {
+		os.Args[1] = "version"
 	}
 	c := findCommand(os.Args[1])
 	if c == nil {

@@ -11,6 +11,7 @@ import (
 	"runtime/pprof"
 
 	"tsnoop/internal/harness"
+	"tsnoop/internal/service"
 	"tsnoop/internal/spec"
 	"tsnoop/internal/stats"
 )
@@ -28,6 +29,7 @@ var runCmd = &command{
 		s := spec.Default()
 		s.Bind(fs)
 		jsonOut := fs.Bool("json", false, "emit the best run as a JSON cell result")
+		cacheDir := fs.String("cache", "", "serve and record results through this content-addressed store directory")
 		cpuprof := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprof := fs.String("memprofile", "", "write a pprof heap profile to this file")
 		return func(ctx context.Context, stdout, stderr io.Writer) error {
@@ -35,7 +37,7 @@ var runCmd = &command{
 			if err != nil {
 				return err
 			}
-			run, runErr := s.RunContext(ctx)
+			run, runErr := runMaybeCached(ctx, s, *cacheDir, stderr)
 			if err := stopProf(); err != nil {
 				return err
 			}
@@ -53,6 +55,34 @@ var runCmd = &command{
 			return err
 		}
 	},
+}
+
+// runMaybeCached executes the spec, through the content-addressed
+// result store when -cache names a directory: a previously computed
+// spec (same canonical hash) is served without simulation, a fresh one
+// is computed and stored. Output is byte-identical either way.
+func runMaybeCached(ctx context.Context, s spec.Spec, cacheDir string, stderr io.Writer) (*stats.Run, error) {
+	if cacheDir == "" {
+		return s.RunContext(ctx)
+	}
+	sv, err := newCacheService(ctx, cacheDir, s.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sv.Do(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	if res.Cached {
+		fmt.Fprintf(stderr, "tsnoop: served from the result store (key %s)\n", res.Key[:12])
+	}
+	return res.Run, nil
+}
+
+// newCacheService opens the local result store a -cache flag names. The
+// command context is the job lifecycle: Ctrl-C cancels simulations.
+func newCacheService(ctx context.Context, dir string, workers int) (*service.Service, error) {
+	return service.New(service.Config{Dir: dir, Workers: workers, BaseContext: ctx})
 }
 
 // writeCellJSON renders one run as an indented cell-result object. The

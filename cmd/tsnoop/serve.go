@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tsnoop/internal/service"
+)
+
+// serveCmd runs the experiment service: an HTTP API over the
+// content-addressed result store and the dedup job queue, so any
+// previously computed experiment is served without simulation and
+// identical concurrent submissions simulate once.
+//
+//	tsnoop serve -addr localhost:8177 -cache ~/.cache/tsnoop
+//
+// Endpoints: POST /v1/runs (Spec JSON -> Run JSON), POST /v1/grids and
+// /v1/sweeps (NDJSON streams in presentation order), GET /v1/jobs[/{id}]
+// (progress), GET /healthz. SIGTERM or Ctrl-C drains gracefully:
+// in-flight requests finish (and their results land in the store)
+// before the process exits.
+var serveCmd = &command{
+	name:    "serve",
+	summary: "serve experiments over HTTP (content-addressed store + dedup queue)",
+	setup: func(fs *flag.FlagSet) execFn {
+		addr := fs.String("addr", "localhost:8177", "listen address (host:port; port 0 picks a free port)")
+		cacheDir := fs.String("cache", "", "result store directory (empty = in-memory LRU only, nothing persists)")
+		lru := fs.Int("lru", 0, "in-memory result cache entries (0 = default)")
+		workers := fs.Int("workers", 0, "concurrent simulations across all jobs (0 = one per CPU)")
+		drain := fs.Duration("drain", 30*time.Second, "graceful shutdown grace period")
+		return func(ctx context.Context, stdout, stderr io.Writer) error {
+			// The interrupt context from main covers Ctrl-C; production
+			// supervisors send SIGTERM, so drain on that too.
+			ctx, stop := signal.NotifyContext(ctx, syscall.SIGTERM)
+			defer stop()
+			// Jobs run on their own lifecycle: a disconnected client must
+			// not cancel a simulation other clients joined, and drain lets
+			// in-flight work finish.
+			sv, err := service.New(service.Config{
+				Dir:     *cacheDir,
+				LRU:     *lru,
+				Workers: *workers,
+			})
+			if err != nil {
+				return err
+			}
+			ln, err := net.Listen("tcp", *addr)
+			if err != nil {
+				return err
+			}
+			srv := &http.Server{Handler: service.NewHandler(sv)}
+			fmt.Fprintf(stderr, "tsnoop: serving on http://%s\n", ln.Addr())
+			if *cacheDir != "" {
+				fmt.Fprintf(stderr, "tsnoop: results persist in %s\n", *cacheDir)
+			}
+			errc := make(chan error, 1)
+			go func() { errc <- srv.Serve(ln) }()
+			select {
+			case err := <-errc:
+				return err
+			case <-ctx.Done():
+			}
+			fmt.Fprintln(stderr, "tsnoop: draining (in-flight experiments finish first)")
+			sctx, cancel := context.WithTimeout(context.Background(), *drain)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				return fmt.Errorf("serve: drain: %w", err)
+			}
+			// Shutdown only waits for open connections; jobs whose
+			// submitters disconnected are still running on the queue —
+			// wait for them too, so their results land in the store.
+			if err := sv.Drain(sctx); err != nil {
+				return fmt.Errorf("serve: drain: %w", err)
+			}
+			if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return err
+			}
+			return nil
+		}
+	},
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"tsnoop/internal/spec"
+)
+
+// submitCmd is the client for a tsnoop serve instance: it renders the
+// parsed Spec flag set as JSON, posts it, and streams the server's
+// response to stdout. The cache disposition (hit / join / miss) is
+// reported on stderr, so scripts can assert that a repeated submission
+// was served from the store.
+//
+//	tsnoop submit -addr http://localhost:8177 -benchmark OLTP -seeds 3
+//	tsnoop submit -mode grid -network torus -benchmark ""      # all five
+//	tsnoop submit -mode sweep -sweep ablation -benchmark barnes
+var submitCmd = &command{
+	name:      "submit",
+	summary:   "submit an experiment to a tsnoop server",
+	simulates: true, // binds the full Spec flag set (the server simulates)
+	setup: func(fs *flag.FlagSet) execFn {
+		s := spec.Default()
+		s.Bind(fs)
+		addr := fs.String("addr", "http://localhost:8177", "server base URL")
+		mode := fs.String("mode", "run", "what to submit: run (one Run JSON), grid, or sweep (NDJSON streams)")
+		sweepKind := fs.String("sweep", "ablation", "sweep kind for -mode sweep")
+		timeout := fs.Duration("timeout", 0, "request timeout (0 = none)")
+		return func(ctx context.Context, stdout, stderr io.Writer) error {
+			var path string
+			var body []byte
+			switch *mode {
+			case "run":
+				if err := s.Validate(); err != nil {
+					return err
+				}
+				path, body = "/v1/runs", s.JSON()
+			case "grid":
+				path, body = "/v1/grids", s.JSON()
+			case "sweep":
+				if err := s.Validate(); err != nil {
+					return err
+				}
+				path = "/v1/sweeps"
+				var err error
+				body, err = json.Marshal(struct {
+					Sweep string          `json:"sweep"`
+					Spec  json.RawMessage `json:"spec"`
+				}{*sweepKind, s.JSON()})
+				if err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("unknown -mode %q (have run, grid, sweep)", *mode)
+			}
+			if *timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, *timeout)
+				defer cancel()
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+				strings.TrimRight(*addr, "/")+path, bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return fmt.Errorf("submit: %w", err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("submit: %s: %s", resp.Status, readServerError(resp.Body))
+			}
+			reportDisposition(stderr, resp)
+			return streamResponse(stdout, resp.Body)
+		}
+	},
+}
+
+// reportDisposition explains how the server answered a /v1/runs request.
+func reportDisposition(stderr io.Writer, resp *http.Response) {
+	disp := resp.Header.Get("X-Tsnoop-Cache")
+	if disp == "" {
+		return // streaming endpoints answer per cell, not per request
+	}
+	line := "cache " + disp
+	switch disp {
+	case "join":
+		line = "joined in-flight job"
+	case "miss":
+		line = "cache miss (simulating)"
+	case "hit":
+		line = "cache hit (served from the store)"
+	}
+	if job := resp.Header.Get("X-Tsnoop-Job"); job != "" {
+		line += " [" + job + "]"
+	}
+	if key := resp.Header.Get("X-Tsnoop-Key"); len(key) >= 12 {
+		line += " key " + key[:12]
+	}
+	fmt.Fprintf(stderr, "submit: %s\n", line)
+}
+
+// readServerError extracts the one-object JSON error a tsnoop server
+// returns with non-200 statuses.
+func readServerError(body io.Reader) string {
+	data, err := io.ReadAll(io.LimitReader(body, 1<<16))
+	if err != nil {
+		return err.Error()
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// streamResponse copies response lines through as they arrive. A
+// mid-stream {"error": ...} line (the NDJSON failure convention — the
+// 200 status has already been sent by then) becomes the exit error.
+func streamResponse(stdout io.Writer, body io.Reader) error {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(line, &e) == nil && e.Error != "" {
+			return fmt.Errorf("submit: server: %s", e.Error)
+		}
+		if _, err := fmt.Fprintf(stdout, "%s\n", line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

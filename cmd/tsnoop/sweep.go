@@ -31,6 +31,7 @@ var sweepCmd = &command{
 		kind := fs.String("sweep", "envelope", strings.Join(harness.SweepKinds(), ", ")+", or envelope")
 		progress := fs.Bool("progress", false, "report per-point completion on stderr")
 		jsonOut := fs.Bool("json", false, "stream sweep points as JSON lines instead of rendering")
+		cacheDir := fs.String("cache", "", "serve and record points through this content-addressed store directory")
 		cpuprof := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprof := fs.String("memprofile", "", "write a pprof heap profile to this file")
 		return func(ctx context.Context, stdout, stderr io.Writer) error {
@@ -55,8 +56,16 @@ var sweepCmd = &command{
 			if err != nil {
 				return err
 			}
+			stream := e.StreamPoints(ctx, sw.Points)
+			if *cacheDir != "" {
+				sv, err := newCacheService(ctx, *cacheDir, s.Workers)
+				if err != nil {
+					return err
+				}
+				stream = sv.StreamPoints(ctx, sw.Points)
+			}
 			pts := make([]harness.SweepPoint, 0, len(sw.Points))
-			for pt, err := range e.StreamPoints(ctx, sw.Points) {
+			for pt, err := range stream {
 				if err != nil {
 					return err
 				}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// versionCmd prints the build's identity: module version, VCS commit
+// and time when the binary was built from a checkout, and the Go
+// toolchain. `tsnoop -version` and `tsnoop --version` are accepted
+// aliases, the convention every deployment script expects.
+var versionCmd = &command{
+	name:    "version",
+	summary: "print the tsnoop version and build information",
+	setup: func(fs *flag.FlagSet) execFn {
+		return func(ctx context.Context, stdout, stderr io.Writer) error {
+			_, err := io.WriteString(stdout, versionString()+"\n")
+			return err
+		}
+	},
+}
+
+// versionString renders the build info on one line.
+func versionString() string {
+	version, commit, when, modified := "(devel)", "", "", false
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if info.Main.Version != "" {
+			version = info.Main.Version
+		}
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				commit = s.Value
+			case "vcs.time":
+				when = s.Value
+			case "vcs.modified":
+				modified = s.Value == "true"
+			}
+		}
+	}
+	out := "tsnoop " + version
+	if commit != "" {
+		if len(commit) > 12 {
+			commit = commit[:12]
+		}
+		out += " commit " + commit
+		if modified {
+			out += "+dirty"
+		}
+	}
+	if when != "" {
+		out += " built " + when
+	}
+	return out + " " + runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH
+}

@@ -26,9 +26,19 @@
 // unchanged. Composable transforms (CPU fold, footprint scale, window,
 // merge) rewrite traces into scenarios no generator produces.
 //
+// Experiments also run as a long-lived service (internal/service): a
+// content-addressed result store keyed by the spec's canonical hash
+// (spec.Canonical) serves any previously computed run byte-identically
+// without simulation, a dedup job queue singleflights identical
+// in-flight specs and fans distinct ones across the worker pool, and an
+// HTTP API (tsnoop serve / tsnoop submit) streams grid cells and sweep
+// points as NDJSON in presentation order. The run, grid, and sweep
+// subcommands hit the same store locally via -cache.
+//
 // The command-line surface is the single cmd/tsnoop tool, whose
-// subcommands (run, grid, sweep, tables, check, trace) all parse the same
-// Spec flag set. The public entry point for library use is internal/core;
-// runnable examples live under examples/ (examples/spec_api walks the
-// Spec API end to end). See README.md for a quickstart.
+// subcommands (run, grid, sweep, tables, check, trace, serve, submit,
+// version) all parse the same Spec flag set. The public entry point for
+// library use is internal/core; runnable examples live under examples/
+// (examples/spec_api walks the Spec API end to end). See README.md for
+// a quickstart.
 package tsnoop

@@ -28,7 +28,10 @@
 package core
 
 import (
+	"net/http"
+
 	"tsnoop/internal/harness"
+	"tsnoop/internal/service"
 	"tsnoop/internal/spec"
 	"tsnoop/internal/stats"
 	"tsnoop/internal/system"
@@ -129,3 +132,25 @@ func NewGrid(network string, benchmarks []string) *Grid { return harness.NewGrid
 // Spec describes: its machine size, seed fan-out, perturbation,
 // scaling, worker bound, and design knobs.
 func ExperimentFor(s Spec) Experiment { return harness.FromSpec(s) }
+
+// Service is the long-lived experiment service: a content-addressed
+// result store (keyed by Spec.Canonical) fronted by a dedup job queue,
+// so repeated or concurrent identical experiments simulate once (see
+// service.Service).
+type Service = service.Service
+
+// ServiceConfig parameterizes NewService (see service.Config).
+type ServiceConfig = service.Config
+
+// ServiceResult is one answered experiment: the stable Run JSON, the
+// decoded run, and whether it was cached or deduplicated.
+type ServiceResult = service.Result
+
+// NewService opens a result store (Dir empty = in-memory only) and
+// builds its dedup queue.
+func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// ServiceHandler exposes a service over HTTP: POST /v1/runs, streaming
+// /v1/grids and /v1/sweeps, GET /v1/jobs/{id}, and GET /healthz — the
+// API behind tsnoop serve.
+func ServiceHandler(sv *Service) http.Handler { return service.NewHandler(sv) }

@@ -51,6 +51,32 @@ func (e Experiment) cellSpec(bench, proto, network string) spec.Spec {
 	return s
 }
 
+// CellSpec derives the one self-contained spec whose Run reproduces a
+// cell's reported result: the per-cell base (cellSpec) with the engine's
+// seed fan-out and perturbation rules (runSeed) folded in, so
+// CellSpec(c).Run() equals the cell's streamed Best. It is the identity
+// the service layer content-addresses grid cells by.
+func (e Experiment) CellSpec(c Cell) spec.Spec {
+	s := e.cellSpec(c.Benchmark, c.Protocol, c.Network)
+	s.Seeds = e.seeds()
+	if e.Seeds > 1 {
+		s.PerturbNS = int64(e.PerturbMax / sim.Nanosecond)
+	}
+	return s
+}
+
+// Cells enumerates the benchmark x protocol cells of one network's grid
+// in presentation order — the order StreamGrid yields results in.
+func (e Experiment) Cells(network string) []Cell {
+	var cells []Cell
+	for _, b := range e.benchmarks() {
+		for _, p := range e.protocols() {
+			cells = append(cells, Cell{Benchmark: b, Protocol: p, Network: network})
+		}
+	}
+	return cells
+}
+
 // seedJob is one simulation in a grid run: a cell plus a perturbation
 // seed. The generator is cloned per job so concurrent jobs never share
 // workload state.

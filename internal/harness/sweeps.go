@@ -9,6 +9,7 @@ import (
 	"tsnoop/internal/parallel"
 	"tsnoop/internal/sim"
 	"tsnoop/internal/spec"
+	"tsnoop/internal/stats"
 	"tsnoop/internal/system"
 )
 
@@ -29,6 +30,20 @@ type PointSpec struct {
 	Spec  spec.Spec
 }
 
+// Result renders a measured run as this point's sweep measurement. It
+// is the pure projection runPoint applies, exported so callers that run
+// the point spec themselves (the service's cached sweep path) produce
+// identical points.
+func (p PointSpec) Result(run *stats.Run) SweepPoint {
+	return SweepPoint{
+		Label:      p.Label,
+		Protocol:   p.Spec.Protocol,
+		RuntimePS:  int64(run.Runtime),
+		LinkBytes:  run.Traffic.TotalLinkBytes(),
+		ThreeHopPc: 100 * run.CacheToCacheFraction(),
+	}
+}
+
 // runPoint executes one measurement: the point spec's seed fan-out
 // (Seeds perturbed copies, minimum runtime reported) runs serially
 // inside this job — the point pool owns the parallelism.
@@ -39,13 +54,7 @@ func runPoint(p PointSpec) (SweepPoint, error) {
 	if err != nil {
 		return SweepPoint{}, fmt.Errorf("harness: %w", err)
 	}
-	return SweepPoint{
-		Label:      p.Label,
-		Protocol:   p.Spec.Protocol,
-		RuntimePS:  int64(run.Runtime),
-		LinkBytes:  run.Traffic.TotalLinkBytes(),
-		ThreeHopPc: 100 * run.CacheToCacheFraction(),
-	}, nil
+	return p.Result(run), nil
 }
 
 // StreamPoints evaluates the specs across the worker pool, yielding

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"tsnoop/internal/harness"
+	"tsnoop/internal/spec"
+)
+
+// smallExperiment is a fast one-benchmark grid: 3 protocols x 2
+// perturbed seeds on a 4-node machine.
+func smallExperiment() harness.Experiment {
+	s := spec.New("barnes", spec.WithNodes(4), spec.WithWarmup(60), spec.WithQuota(120),
+		spec.WithSeeds(2), spec.WithPerturbNS(3))
+	return harness.FromSpec(s)
+}
+
+// collectJSON renders every streamed cell as its JSON line.
+func collectJSON[T any](t *testing.T, seq func(yield func(T, error) bool)) []string {
+	t.Helper()
+	var lines []string
+	for v, err := range seq {
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(data))
+	}
+	return lines
+}
+
+// The cached grid stream is byte-identical to the harness engine — cold
+// (every cell simulated through the queue) and warm (every cell served
+// from the store).
+func TestServiceStreamGridMatchesHarness(t *testing.T) {
+	e := smallExperiment()
+	ctx := context.Background()
+	want := collectJSON(t, e.StreamGrid(ctx, "butterfly"))
+
+	sv, err := New(Config{Dir: t.TempDir(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := collectJSON(t, sv.StreamGrid(ctx, e, "butterfly"))
+	if len(cold) != len(want) {
+		t.Fatalf("cold stream has %d cells, want %d", len(cold), len(want))
+	}
+	for i := range want {
+		if cold[i] != want[i] {
+			t.Errorf("cold cell %d differs:\n got: %s\nwant: %s", i, cold[i], want[i])
+		}
+	}
+
+	warm := collectJSON(t, sv.StreamGrid(ctx, e, "butterfly"))
+	for i := range want {
+		if warm[i] != want[i] {
+			t.Errorf("warm cell %d differs:\n got: %s\nwant: %s", i, warm[i], want[i])
+		}
+	}
+	if st := sv.StoreStats(); st.Hits < int64(len(want)) {
+		t.Errorf("warm pass recorded %d store hits, want at least %d", st.Hits, len(want))
+	}
+	// The warm pass scheduled no new jobs.
+	if n := len(sv.Jobs()); n != len(want) {
+		t.Errorf("%d jobs after warm pass, want %d (one per cold cell)", n, len(want))
+	}
+}
+
+// The cached sweep-point stream matches the harness points exactly.
+func TestServiceStreamPointsMatchesHarness(t *testing.T) {
+	e := smallExperiment()
+	base := spec.New("barnes", spec.WithNodes(4), spec.WithWarmup(60), spec.WithQuota(120))
+	alt := base
+	alt.BlockBytes = 128
+	pts := []harness.PointSpec{
+		{Label: "64B", Spec: base},
+		{Label: "128B", Spec: alt},
+	}
+	ctx := context.Background()
+	want := collectJSON(t, e.StreamPoints(ctx, pts))
+
+	sv, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		got := collectJSON(t, sv.StreamPoints(ctx, pts))
+		if len(got) != len(want) {
+			t.Fatalf("pass %d: %d points, want %d", pass, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("pass %d point %d differs:\n got: %s\nwant: %s", pass, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"tsnoop/internal/harness"
+	"tsnoop/internal/spec"
+)
+
+// The HTTP surface of the experiment service.
+//
+//	POST /v1/runs     Spec JSON -> stats.Run JSON (one object)
+//	POST /v1/grids    Spec JSON -> NDJSON cell results, presentation order
+//	POST /v1/sweeps   {"sweep": kind, "spec": Spec} -> NDJSON sweep points
+//	GET  /v1/jobs     all retained jobs
+//	GET  /v1/jobs/{id} one job's status and progress
+//	GET  /healthz     store and queue counters
+//
+// Every /v1/runs response carries X-Tsnoop-Key (the spec's canonical
+// hash) and X-Tsnoop-Cache: "hit" (served from the store), "join"
+// (attached to an identical in-flight job), or "miss" (computed by a
+// new job, named by X-Tsnoop-Job). Streaming responses are
+// application/x-ndjson; a mid-stream failure appends a final
+// {"error": "..."} line, since the status code has already been sent.
+
+// maxBodyBytes bounds request bodies; a Spec is a few hundred bytes.
+const maxBodyBytes = 1 << 20
+
+// Cache-disposition values for the X-Tsnoop-Cache header.
+const (
+	CacheHit  = "hit"
+	CacheJoin = "join"
+	CacheMiss = "miss"
+)
+
+// NewHandler returns the service's HTTP API over sv.
+func NewHandler(sv *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", sv.handleHealthz)
+	mux.HandleFunc("POST /v1/runs", sv.handleRuns)
+	mux.HandleFunc("POST /v1/grids", sv.handleGrids)
+	mux.HandleFunc("POST /v1/sweeps", sv.handleSweeps)
+	mux.HandleFunc("GET /v1/jobs", sv.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", sv.handleJob)
+	return mux
+}
+
+// httpError writes a one-object JSON error body.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// readSpec decodes a (possibly sparse) Spec from the request body.
+func readSpec(w http.ResponseWriter, r *http.Request) (spec.Spec, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return spec.Spec{}, false
+	}
+	s, err := spec.FromJSON(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return spec.Spec{}, false
+	}
+	return s, true
+}
+
+// statusFor maps a Do error to an HTTP status: validation errors are the
+// client's fault, cancellations are the client hanging up, anything else
+// is the simulation failing.
+func statusFor(err error) int {
+	if strings.HasPrefix(err.Error(), "spec: ") {
+		return http.StatusBadRequest
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusRequestTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+// disposition renders a Result's cache path for the X-Tsnoop-Cache
+// header.
+func disposition(res Result) string {
+	switch {
+	case res.Cached:
+		return CacheHit
+	case res.Shared:
+		return CacheJoin
+	default:
+		return CacheMiss
+	}
+}
+
+func (sv *Service) handleRuns(w http.ResponseWriter, r *http.Request) {
+	s, ok := readSpec(w, r)
+	if !ok {
+		return
+	}
+	res, err := sv.Do(r.Context(), s)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Tsnoop-Key", res.Key)
+	h.Set("X-Tsnoop-Cache", disposition(res))
+	if res.JobID != "" {
+		h.Set("X-Tsnoop-Job", res.JobID)
+	}
+	w.Write(res.Data)
+	io.WriteString(w, "\n")
+}
+
+// streamNDJSON drives a result stream into an NDJSON response, flushing
+// per line so clients see cells as they finish.
+func streamNDJSON[T any](w http.ResponseWriter, seq func(yield func(T, error) bool)) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for v, err := range seq {
+		if err != nil {
+			enc.Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		if err := enc.Encode(v); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (sv *Service) handleGrids(w http.ResponseWriter, r *http.Request) {
+	s, ok := readSpec(w, r)
+	if !ok {
+		return
+	}
+	// An empty benchmark means the paper's five; validate the machine
+	// shape against a concrete one so bad requests fail before the
+	// stream commits a 200.
+	probe := s
+	if probe.Benchmark == "" {
+		probe.Benchmark = spec.Benchmarks()[0]
+	}
+	if err := probe.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	streamNDJSON(w, sv.StreamGrid(r.Context(), harness.FromSpec(s), s.Network))
+}
+
+// sweepRequest is the /v1/sweeps body: a sweep kind plus the base spec
+// (the spec's benchmark and network select the swept workload).
+type sweepRequest struct {
+	Sweep string          `json:"sweep"`
+	Spec  json.RawMessage `json:"spec"`
+}
+
+func (sv *Service) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	var req sweepRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("sweep request: %w", err))
+		return
+	}
+	s := spec.Default()
+	if len(req.Spec) > 0 {
+		if s, err = spec.FromJSON(req.Spec); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if err := s.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	e := harness.FromSpec(s)
+	sw, err := e.NewSweep(req.Sweep, s.Benchmark, s.Network)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	streamNDJSON(w, sv.StreamPoints(r.Context(), sw.Points))
+}
+
+func (sv *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := sv.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+func (sv *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sv.Jobs())
+}
+
+// health is the /healthz document.
+type health struct {
+	Status string     `json:"status"`
+	Store  StoreStats `json:"store"`
+	Queue  QueueStats `json:"queue"`
+}
+
+func (sv *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(health{Status: "ok", Store: sv.StoreStats(), Queue: sv.QueueStats()})
+}

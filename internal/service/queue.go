@@ -1,0 +1,404 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"tsnoop/internal/parallel"
+	"tsnoop/internal/spec"
+	"tsnoop/internal/stats"
+)
+
+// SimFunc executes exactly one simulation: a validated spec with
+// Seeds == 1 and Workers == 1 (the queue owns both fan-outs). The
+// default is Spec.RunContext; tests inject counting or gated stubs.
+type SimFunc func(ctx context.Context, s spec.Spec) (*stats.Run, error)
+
+// Job states, in lifecycle order.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStatus is the externally visible snapshot of one job — what
+// GET /v1/jobs/{id} returns.
+type JobStatus struct {
+	ID    string    `json:"id"`
+	Key   string    `json:"key"`
+	State string    `json:"state"`
+	Spec  spec.Spec `json:"spec"`
+	// SeedsDone / SeedsTotal expose per-job progress at simulation
+	// granularity: a 20-seed job reports each finished seed.
+	SeedsDone  int `json:"seeds_done"`
+	SeedsTotal int `json:"seeds_total"`
+	// Waiters counts requests deduplicated onto this job beyond the one
+	// that started it.
+	Waiters int    `json:"waiters"`
+	Error   string `json:"error,omitempty"`
+	// StoreError records a failed persist of an otherwise successful
+	// job: the result was still served (and the LRU still has it), only
+	// the disk write failed.
+	StoreError string    `json:"store_error,omitempty"`
+	Created    time.Time `json:"created"`
+	Finished   time.Time `json:"finished,omitzero"`
+}
+
+// job is the mutable record behind a JobStatus.
+type job struct {
+	mu     sync.Mutex
+	status JobStatus
+}
+
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+func (j *job) start(total int) {
+	j.mu.Lock()
+	j.status.State = JobRunning
+	j.status.SeedsTotal = total
+	j.mu.Unlock()
+}
+
+func (j *job) seedDone() {
+	j.mu.Lock()
+	j.status.SeedsDone++
+	j.mu.Unlock()
+}
+
+func (j *job) addWaiter() {
+	j.mu.Lock()
+	j.status.Waiters++
+	j.mu.Unlock()
+}
+
+func (j *job) finish(err, storeErr error, now time.Time) {
+	j.mu.Lock()
+	j.status.Finished = now
+	if err != nil {
+		j.status.State, j.status.Error = JobFailed, err.Error()
+	} else {
+		j.status.State = JobDone
+	}
+	if storeErr != nil {
+		j.status.StoreError = storeErr.Error()
+	}
+	j.mu.Unlock()
+}
+
+// Result is one answered experiment: the stable Run JSON (byte-identical
+// across store hits, in-flight joins, and the original computation), the
+// decoded run, and how the answer was produced.
+type Result struct {
+	// Key is the spec's canonical content address.
+	Key string
+	// JobID names the job that computed (or is computing) the result;
+	// empty when the store answered directly.
+	JobID string
+	// Data is the canonical stats.Run JSON.
+	Data []byte
+	// Run is the decoded result.
+	Run *stats.Run
+	// Cached reports a result served from the store without any job.
+	Cached bool
+	// Shared reports a result obtained by joining an identical in-flight
+	// job (singleflight) rather than starting a new one.
+	Shared bool
+}
+
+// flight is one in-progress computation of a key. Duplicate submissions
+// join the flight instead of re-simulating.
+type flight struct {
+	job  *job
+	done chan struct{} // closed once data/run/err are final
+	data []byte
+	run  *stats.Run
+	err  error
+}
+
+// Queue is the dedup job scheduler: identical in-flight specs are
+// singleflighted onto one job, distinct specs fan out across a bounded
+// simulation pool (internal/parallel semantics: one slot per concurrent
+// simulation), finished results land in the content-addressed store,
+// and every job exposes per-seed progress.
+//
+// A job, once started, runs on the queue's base context rather than the
+// submitting request's: a client that disconnects mid-run does not
+// cancel work other clients may have joined, and the result still lands
+// in the store. Cancelling the base context (queue shutdown) stops
+// everything.
+type Queue struct {
+	store *Store
+	sim   SimFunc
+	base  context.Context
+	slots chan struct{}
+	keep  int
+
+	// inflight counts started flights; Drain waits on it so shutdown
+	// never kills a simulation whose submitter already disconnected.
+	inflight sync.WaitGroup
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	jobs    map[string]*job
+	order   []string // job IDs in creation order, for history eviction
+	nextID  int64
+}
+
+// DefaultKeep is the finished-job history bound when Config.Keep is 0.
+const DefaultKeep = 1024
+
+// NewQueue builds a queue over a store. workers bounds concurrent
+// simulations (0 = one per CPU); keep bounds the retained finished-job
+// history (0 = DefaultKeep); sim is the single-simulation executor
+// (nil = Spec.RunContext); base is the lifecycle context jobs run on
+// (nil = context.Background()).
+func NewQueue(store *Store, workers, keep int, sim SimFunc, base context.Context) *Queue {
+	if sim == nil {
+		sim = func(ctx context.Context, s spec.Spec) (*stats.Run, error) { return s.RunContext(ctx) }
+	}
+	if base == nil {
+		base = context.Background()
+	}
+	if keep <= 0 {
+		keep = DefaultKeep
+	}
+	return &Queue{
+		store:   store,
+		sim:     sim,
+		base:    base,
+		slots:   make(chan struct{}, parallel.Workers(workers)),
+		keep:    keep,
+		flights: make(map[string]*flight),
+		jobs:    make(map[string]*job),
+	}
+}
+
+// Do answers one spec: from the store if the result exists, by joining
+// an identical in-flight job if one is running, and by scheduling a new
+// job otherwise. The returned Data is byte-identical across all three
+// paths. ctx bounds only this caller's wait — an already-started job
+// keeps running for other waiters and the store.
+func (q *Queue) Do(ctx context.Context, s spec.Spec) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	key := s.Canonical()
+	if data, ok, err := q.store.Get(key); err != nil {
+		return Result{}, err
+	} else if ok {
+		run, err := decodeRun(data)
+		if err != nil {
+			return Result{}, fmt.Errorf("service: stored result %s is unreadable: %w", key[:12], err)
+		}
+		return Result{Key: key, Data: data, Run: run, Cached: true}, nil
+	}
+
+	q.mu.Lock()
+	if f, ok := q.flights[key]; ok {
+		f.job.addWaiter()
+		q.mu.Unlock()
+		return q.wait(ctx, key, f, true)
+	}
+	f := &flight{job: q.newJobLocked(key, s), done: make(chan struct{})}
+	q.flights[key] = f
+	q.inflight.Add(1)
+	q.mu.Unlock()
+	go q.execute(f, s, key)
+	return q.wait(ctx, key, f, false)
+}
+
+// wait blocks until the flight completes or the caller's context fires.
+func (q *Queue) wait(ctx context.Context, key string, f *flight, shared bool) (Result, error) {
+	select {
+	case <-f.done:
+		if f.err != nil {
+			return Result{}, f.err
+		}
+		return Result{Key: key, JobID: f.job.snapshot().ID, Data: f.data, Run: f.run, Shared: shared}, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// newJobLocked registers a new job record; q.mu must be held. Finished
+// jobs past the history bound are evicted oldest-first (jobs still
+// queued or running are never evicted).
+func (q *Queue) newJobLocked(key string, s spec.Spec) *job {
+	q.nextID++
+	j := &job{status: JobStatus{
+		ID:      fmt.Sprintf("job-%06d", q.nextID),
+		Key:     key,
+		State:   JobQueued,
+		Spec:    s,
+		Created: time.Now().UTC(),
+	}}
+	q.jobs[j.status.ID] = j
+	q.order = append(q.order, j.status.ID)
+	for len(q.order) > q.keep {
+		evicted := false
+		for i, id := range q.order {
+			st := q.jobs[id].snapshot().State
+			if st == JobDone || st == JobFailed {
+				delete(q.jobs, id)
+				q.order = append(q.order[:i], q.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything live; let the history run long rather than lose live jobs
+		}
+	}
+	return j
+}
+
+// execute runs one flight to completion on the queue's base context and
+// publishes the result to the store and to every waiter.
+func (q *Queue) execute(f *flight, s spec.Spec, key string) {
+	defer func() {
+		q.mu.Lock()
+		delete(q.flights, key)
+		q.mu.Unlock()
+		close(f.done)
+		q.inflight.Done()
+	}()
+	run, err := q.runSeeds(q.base, s, f.job)
+	if err == nil {
+		f.data, err = json.Marshal(run)
+	}
+	if err != nil {
+		f.err = err
+		f.data = nil
+		f.job.finish(err, nil, time.Now().UTC())
+		return
+	}
+	f.run = run
+	// A failed persist (full or read-only directory) must not discard a
+	// computed result: serve it, keep it in the LRU, and surface the
+	// store trouble on the job instead of degrading every client to 500s.
+	storeErr := q.store.Put(key, f.data)
+	f.job.finish(nil, storeErr, time.Now().UTC())
+}
+
+// Drain blocks until every in-flight job has finished (or ctx fires) —
+// the graceful-shutdown handshake: jobs whose submitters disconnected
+// still run to completion and land in the store before the process
+// exits.
+func (q *Queue) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		q.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// runSeeds fans the spec's perturbed seed copies across the shared
+// simulation pool — each seed takes one slot, so the concurrency bound
+// holds across all jobs — collects them in seed order, and reports the
+// minimum-runtime run (the paper's rule, same as Spec.Run).
+func (q *Queue) runSeeds(ctx context.Context, s spec.Spec, j *job) (*stats.Run, error) {
+	n := s.Seeds
+	j.start(n)
+	runs := make([]*stats.Run, 0, n)
+	for run, err := range parallel.Stream(ctx, n, n, func(i int) (*stats.Run, error) {
+		select {
+		case q.slots <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		defer func() { <-q.slots }()
+		one := s
+		one.Seed += uint64(i)
+		one.Seeds = 1
+		one.Workers = 1
+		r, err := q.sim(ctx, one)
+		if err == nil {
+			j.seedDone()
+		}
+		return r, err
+	}) {
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	return stats.Best(runs), nil
+}
+
+// Job returns the status snapshot of one job.
+func (q *Queue) Job(id string) (JobStatus, bool) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	q.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Jobs snapshots every retained job in creation order.
+func (q *Queue) Jobs() []JobStatus {
+	q.mu.Lock()
+	ids := append([]string(nil), q.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, q.jobs[id])
+	}
+	q.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.snapshot())
+	}
+	return out
+}
+
+// QueueStats counts retained jobs by state plus total dedup joins.
+type QueueStats struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+	Joined  int `json:"joined"` // requests answered by joining an in-flight job
+}
+
+// Stats snapshots the queue's counters.
+func (q *Queue) Stats() QueueStats {
+	var qs QueueStats
+	for _, j := range q.Jobs() {
+		switch j.State {
+		case JobQueued:
+			qs.Queued++
+		case JobRunning:
+			qs.Running++
+		case JobDone:
+			qs.Done++
+		case JobFailed:
+			qs.Failed++
+		}
+		qs.Joined += j.Waiters
+	}
+	return qs
+}
+
+// decodeRun parses stored Run JSON.
+func decodeRun(data []byte) (*stats.Run, error) {
+	run := new(stats.Run)
+	if err := json.Unmarshal(data, run); err != nil {
+		return nil, err
+	}
+	return run, nil
+}

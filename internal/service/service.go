@@ -1,0 +1,126 @@
+// Package service turns the one-shot experiment engine into a
+// long-lived experiment service, so identical grid cells are never
+// re-simulated. Three pieces compose:
+//
+//   - a content-addressed result store (Store): spec.Canonical() hashes
+//     the normalized Spec, and a disk-backed, shard-per-prefix layout
+//     with an in-memory LRU in front maps hash -> stats.Run JSON, so any
+//     previously computed experiment is served without simulation and
+//     byte-identically to its first computation;
+//
+//   - a dedup job queue (Queue): identical in-flight specs singleflight
+//     onto one job, distinct specs fan their perturbed seeds across a
+//     bounded simulation pool, and every job exposes per-seed progress;
+//
+//   - an HTTP API (NewHandler): POST /v1/runs answers one Spec with its
+//     Run JSON, POST /v1/grids and /v1/sweeps stream NDJSON cells in
+//     presentation order as they finish, GET /v1/jobs/{id} reports
+//     progress, and GET /healthz reports store and queue counters.
+//
+// cmd/tsnoop wires this up as the serve and submit subcommands, and the
+// run/grid/sweep subcommands hit the same store locally via -cache.
+package service
+
+import (
+	"context"
+	"iter"
+
+	"tsnoop/internal/harness"
+	"tsnoop/internal/parallel"
+	"tsnoop/internal/spec"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Dir is the result store directory; empty keeps results in memory
+	// only (the LRU still serves repeats, nothing persists).
+	Dir string
+	// LRU bounds the in-memory result cache entries (0 = DefaultLRU).
+	LRU int
+	// Workers bounds concurrent simulations across all jobs
+	// (0 = one per CPU).
+	Workers int
+	// Keep bounds the retained finished-job history (0 = DefaultKeep).
+	Keep int
+	// Sim executes one simulation (nil = Spec.RunContext); tests inject
+	// stubs to count or gate executions.
+	Sim SimFunc
+	// BaseContext is the lifecycle context started jobs run on (nil =
+	// context.Background()): a CLI passes its interrupt context so
+	// Ctrl-C cancels simulations, a server passes its own lifetime so
+	// request disconnects do not.
+	BaseContext context.Context
+}
+
+// Service is the experiment service: a store fronted by a dedup queue,
+// with grid/sweep streaming that mirrors the harness engine cell for
+// cell.
+type Service struct {
+	store *Store
+	queue *Queue
+}
+
+// New opens the store and builds the queue.
+func New(cfg Config) (*Service, error) {
+	store, err := OpenStore(cfg.Dir, cfg.LRU)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{
+		store: store,
+		queue: NewQueue(store, cfg.Workers, cfg.Keep, cfg.Sim, cfg.BaseContext),
+	}, nil
+}
+
+// Do answers one spec through the store and queue; see Queue.Do.
+func (sv *Service) Do(ctx context.Context, s spec.Spec) (Result, error) {
+	return sv.queue.Do(ctx, s)
+}
+
+// Drain blocks until every in-flight job has finished (or ctx fires);
+// see Queue.Drain.
+func (sv *Service) Drain(ctx context.Context) error { return sv.queue.Drain(ctx) }
+
+// Job returns one job's status snapshot.
+func (sv *Service) Job(id string) (JobStatus, bool) { return sv.queue.Job(id) }
+
+// Jobs snapshots every retained job in creation order.
+func (sv *Service) Jobs() []JobStatus { return sv.queue.Jobs() }
+
+// StoreStats snapshots the store counters.
+func (sv *Service) StoreStats() StoreStats { return sv.store.Stats() }
+
+// QueueStats snapshots the queue counters.
+func (sv *Service) QueueStats() QueueStats { return sv.queue.Stats() }
+
+// StreamGrid is the cached counterpart of harness.Experiment.StreamGrid:
+// it yields the same cells in the same presentation order as they
+// finish, but each cell is content-addressed by its CellSpec, so cells
+// already in the store are served instantly, identical concurrent cells
+// are singleflighted, and fresh cells land in the store for next time.
+// Collecting the stream is byte-identical to the harness path.
+func (sv *Service) StreamGrid(ctx context.Context, e harness.Experiment, network string) iter.Seq2[harness.CellResult, error] {
+	cells := e.Cells(network)
+	// One goroutine per cell: actual simulation concurrency is bounded
+	// by the queue's slot pool, and slot-waiting goroutines are cheap.
+	return parallel.Stream(ctx, len(cells), len(cells), func(i int) (harness.CellResult, error) {
+		res, err := sv.Do(ctx, e.CellSpec(cells[i]))
+		if err != nil {
+			return harness.CellResult{}, err
+		}
+		return harness.CellResult{Cell: cells[i], Best: res.Run}, nil
+	})
+}
+
+// StreamPoints is the cached counterpart of
+// harness.Experiment.StreamPoints: sweep points stream in spec order as
+// they finish, each answered through the store and queue.
+func (sv *Service) StreamPoints(ctx context.Context, pts []harness.PointSpec) iter.Seq2[harness.SweepPoint, error] {
+	return parallel.Stream(ctx, len(pts), len(pts), func(i int) (harness.SweepPoint, error) {
+		res, err := sv.Do(ctx, pts[i].Spec)
+		if err != nil {
+			return harness.SweepPoint{}, err
+		}
+		return pts[i].Result(res.Run), nil
+	})
+}

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+)
+
+// DefaultLRU is the in-memory result cache capacity, in entries, when
+// Config.LRU is zero. A stored run is a few kilobytes of JSON, so the
+// default keeps the hot set of a full figure regeneration resident in a
+// few megabytes.
+const DefaultLRU = 4096
+
+// keyLen is the length of a store key: a lowercase-hex SHA-256, as
+// produced by spec.Canonical.
+const keyLen = 64
+
+// Store is the content-addressed result store: it maps a spec's
+// canonical hash to the stats.Run JSON its simulation produced. Reads
+// hit an in-memory LRU first and fall back to the disk layout — one
+// file per result, sharded by the key's first byte
+// (dir/ab/cdef...json) so no directory grows past a few thousand
+// entries at scale. Writes go to a temp file in the shard directory and
+// are published by atomic rename, so concurrent readers (and other
+// processes sharing the directory) never observe a partial result.
+//
+// A Store with an empty directory is memory-only: the LRU still serves
+// repeats within the process, nothing persists.
+//
+// All methods are safe for concurrent use. Get returns the stored bytes
+// directly — callers must treat them as immutable.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits, misses, puts int64
+}
+
+// storeEntry is one LRU slot.
+type storeEntry struct {
+	key  string
+	data []byte
+}
+
+// StoreStats is a point-in-time snapshot of the store's counters.
+type StoreStats struct {
+	Entries int   `json:"entries"` // resident in the LRU
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Puts    int64 `json:"puts"`
+}
+
+// OpenStore opens (creating if needed) a result store rooted at dir. An
+// empty dir yields a memory-only store. lru bounds the in-memory cache
+// entries (0 = DefaultLRU).
+func OpenStore(dir string, lru int) (*Store, error) {
+	if lru <= 0 {
+		lru = DefaultLRU
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: store: %w", err)
+		}
+	}
+	return &Store{
+		dir:     dir,
+		cap:     lru,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}, nil
+}
+
+// checkKey validates a content address before it is used as a path
+// component: exactly 64 lowercase hex characters, so a malformed or
+// hostile key can never escape the store directory.
+func checkKey(key string) error {
+	if len(key) != keyLen {
+		return fmt.Errorf("service: store key %q is not a %d-char hash", key, keyLen)
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("service: store key %q is not lowercase hex", key)
+		}
+	}
+	return nil
+}
+
+// path is the on-disk location of a key: sharded by the first byte.
+func (st *Store) path(key string) string {
+	return filepath.Join(st.dir, key[:2], key[2:]+".json")
+}
+
+// remember inserts (or refreshes) a key in the LRU, evicting the least
+// recently used entry past capacity.
+func (st *Store) remember(key string, data []byte) {
+	if el, ok := st.entries[key]; ok {
+		el.Value.(*storeEntry).data = data
+		st.order.MoveToFront(el)
+		return
+	}
+	st.entries[key] = st.order.PushFront(&storeEntry{key: key, data: data})
+	for st.order.Len() > st.cap {
+		last := st.order.Back()
+		st.order.Remove(last)
+		delete(st.entries, last.Value.(*storeEntry).key)
+	}
+}
+
+// Get returns the stored result for a key. The boolean reports whether
+// the key was present; an error means the key was malformed or the disk
+// read failed (absence is not an error).
+func (st *Store) Get(key string) ([]byte, bool, error) {
+	if err := checkKey(key); err != nil {
+		return nil, false, err
+	}
+	st.mu.Lock()
+	if el, ok := st.entries[key]; ok {
+		st.order.MoveToFront(el)
+		st.hits++
+		data := el.Value.(*storeEntry).data
+		st.mu.Unlock()
+		return data, true, nil
+	}
+	st.mu.Unlock()
+	if st.dir == "" {
+		st.mu.Lock()
+		st.misses++
+		st.mu.Unlock()
+		return nil, false, nil
+	}
+	data, err := os.ReadFile(st.path(key))
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// ENOTDIR means a shard path component is not a directory — the
+	// entry does not exist there any more than with ENOENT.
+	if errors.Is(err, fs.ErrNotExist) || errors.Is(err, syscall.ENOTDIR) {
+		st.misses++
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("service: store: %w", err)
+	}
+	st.hits++
+	st.remember(key, data)
+	return data, true, nil
+}
+
+// Put stores a result under its key, atomically: the bytes land in a
+// temp file in the shard directory and are published by rename, so a
+// concurrent Get sees either nothing or the complete document.
+func (st *Store) Put(key string, data []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	st.remember(key, data)
+	st.puts++
+	st.mu.Unlock()
+	if st.dir == "" {
+		return nil
+	}
+	shard := filepath.Join(st.dir, key[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fmt.Errorf("service: store: %w", err)
+	}
+	tmp, err := os.CreateTemp(shard, ".put-*")
+	if err != nil {
+		return fmt.Errorf("service: store: %w", err)
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), st.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: store: %w", err)
+	}
+	return nil
+}
+
+// Stats snapshots the store's counters.
+func (st *Store) Stats() StoreStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return StoreStats{Entries: st.order.Len(), Hits: st.hits, Misses: st.misses, Puts: st.puts}
+}

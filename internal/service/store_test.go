@@ -1,0 +1,139 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsnoop/internal/spec"
+)
+
+// testKey returns a distinct valid content address.
+func testKey(t *testing.T, n uint64) string {
+	t.Helper()
+	s := spec.Default()
+	s.Seed = n + 1000
+	return s.Canonical()
+}
+
+func TestStoreRoundTripDisk(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, 1)
+	if _, ok, err := st.Get(key); err != nil || ok {
+		t.Fatalf("empty store Get = %v, %v", ok, err)
+	}
+	want := []byte(`{"runtime_ps":42}`)
+	if err := st.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(key)
+	if err != nil || !ok || string(got) != string(want) {
+		t.Fatalf("Get = %q, %v, %v", got, ok, err)
+	}
+
+	// The layout is sharded by key prefix and holds the exact bytes.
+	path := filepath.Join(dir, key[:2], key[2:]+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("sharded file missing: %v", err)
+	}
+	if string(data) != string(want) {
+		t.Fatalf("on-disk bytes = %q, want %q", data, want)
+	}
+	// No temp files are left behind by the atomic write.
+	matches, _ := filepath.Glob(filepath.Join(dir, "*", ".put-*"))
+	if len(matches) != 0 {
+		t.Fatalf("temp files left behind: %v", matches)
+	}
+
+	// A fresh store over the same directory serves the persisted result.
+	st2, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err = st2.Get(key)
+	if err != nil || !ok || string(got) != string(want) {
+		t.Fatalf("reopened Get = %q, %v, %v", got, ok, err)
+	}
+}
+
+func TestStoreLRUEvictionFallsBackToDisk(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{testKey(t, 1), testKey(t, 2), testKey(t, 3)}
+	for i, k := range keys {
+		if err := st.Put(k, []byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.Stats().Entries; got != 2 {
+		t.Fatalf("LRU holds %d entries, want 2", got)
+	}
+	// The evicted key still answers, via disk.
+	data, ok, err := st.Get(keys[0])
+	if err != nil || !ok || string(data) != "a" {
+		t.Fatalf("evicted key Get = %q, %v, %v", data, ok, err)
+	}
+}
+
+func TestStoreMemoryOnly(t *testing.T) {
+	st, err := OpenStore("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{testKey(t, 1), testKey(t, 2), testKey(t, 3)}
+	for _, k := range keys {
+		if err := st.Put(k, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok, _ := st.Get(keys[0]); ok {
+		t.Fatal("memory-only store served an evicted key")
+	}
+	if _, ok, _ := st.Get(keys[2]); !ok {
+		t.Fatal("memory-only store lost a resident key")
+	}
+}
+
+func TestStoreRejectsMalformedKeys(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"",
+		"short",
+		strings.Repeat("g", keyLen), // not hex
+		strings.Repeat("A", keyLen), // not lowercase
+		"../../etc/passwd" + strings.Repeat("0", keyLen-16), // traversal-shaped
+	} {
+		if _, _, err := st.Get(key); err == nil {
+			t.Errorf("Get accepted malformed key %q", key)
+		}
+		if err := st.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put accepted malformed key %q", key)
+		}
+	}
+}
+
+func TestStoreStatsCount(t *testing.T) {
+	st, err := OpenStore("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, 1)
+	st.Get(key)
+	st.Put(key, []byte("x"))
+	st.Get(key)
+	s := st.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 put / 1 entry", s)
+	}
+}

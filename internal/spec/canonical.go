@@ -1,0 +1,57 @@
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// This file defines the content address of an experiment. Two specs that
+// provably run the same simulations hash identically, so result stores,
+// the dedup job queue, and HTTP clients all agree on what "the same
+// experiment" means without comparing structs field by field.
+
+// Normalize returns the canonical form of the spec: every rendering of
+// the same experiment maps to one representative value. Only
+// transformations that provably cannot change a run's statistics are
+// applied:
+//
+//   - Workers is cleared: the engine's output is byte-identical at any
+//     worker count, so scheduling never participates in the identity.
+//   - A zero QuotaScale/WarmupScale means "unscaled" (see Config's quota
+//     resolution) and becomes the equivalent explicit 1.
+//   - Every negative Warmup requests the same explicitly empty warm-up
+//     phase and becomes -1.
+//   - Seeds below 1 means a single run (the engine's rule) and becomes 1.
+//
+// The seed set itself — Seed, Seed+1, ... Seed+Seeds-1 — is part of the
+// identity and is kept verbatim, as are all design knobs: normalization
+// never guesses that a knob is ignored by the selected protocol.
+func (s Spec) Normalize() Spec {
+	s.Workers = 0
+	if s.QuotaScale == 0 {
+		s.QuotaScale = 1
+	}
+	if s.WarmupScale == 0 {
+		s.WarmupScale = 1
+	}
+	if s.Warmup < 0 {
+		s.Warmup = -1
+	}
+	if s.Seeds < 1 {
+		s.Seeds = 1
+	}
+	return s
+}
+
+// Canonical returns the spec's content address: the SHA-256 of the
+// normalized spec's canonical JSON, in lowercase hex. It is stable
+// across processes and releases as long as the JSON field contract
+// holds, which makes it safe to use as an on-disk result-store key.
+//
+// Note that a trace:<path> benchmark hashes by its name, not the trace
+// file's bytes: re-recording a trace under the same path makes old store
+// entries stale, so use a fresh store directory per trace version.
+func (s Spec) Canonical() string {
+	sum := sha256.Sum256(s.Normalize().JSON())
+	return hex.EncodeToString(sum[:])
+}

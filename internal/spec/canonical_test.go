@@ -1,0 +1,62 @@
+package spec
+
+import (
+	"regexp"
+	"testing"
+)
+
+func TestCanonicalIsHexHash(t *testing.T) {
+	key := Default().Canonical()
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(key) {
+		t.Fatalf("Canonical() = %q, want 64 lowercase hex chars", key)
+	}
+}
+
+// Renderings that provably run the same simulations share one address.
+func TestCanonicalIdentifiesEquivalentSpecs(t *testing.T) {
+	base := Default()
+	for name, mod := range map[string]func(*Spec){
+		"workers":         func(s *Spec) { s.Workers = 7 },
+		"explicit scales": func(s *Spec) { s.QuotaScale, s.WarmupScale = 0, 0 },
+	} {
+		alt := base
+		mod(&alt)
+		if alt.Canonical() != base.Canonical() {
+			t.Errorf("%s: equivalent rendering hashes differently", name)
+		}
+	}
+	// Every negative warmup is the same empty warm-up phase.
+	a, b := base, base
+	a.Warmup, b.Warmup = -1, -99
+	if a.Canonical() != b.Canonical() {
+		t.Error("negative warmups hash differently")
+	}
+}
+
+// Anything that can change a run's statistics changes the address.
+func TestCanonicalSeparatesDistinctSpecs(t *testing.T) {
+	base := Default()
+	seen := map[string]string{base.Canonical(): "default"}
+	for name, mod := range map[string]func(*Spec){
+		"benchmark":  func(s *Spec) { s.Benchmark = "DSS" },
+		"protocol":   func(s *Spec) { s.Protocol = "DirOpt" },
+		"network":    func(s *Spec) { s.Network = "torus" },
+		"nodes":      func(s *Spec) { s.Nodes = 8 },
+		"seed":       func(s *Spec) { s.Seed = 2 },
+		"seed set":   func(s *Spec) { s.Seeds = 3 },
+		"perturb":    func(s *Spec) { s.PerturbNS = 3 },
+		"quota":      func(s *Spec) { s.Quota = 100 },
+		"scale":      func(s *Spec) { s.QuotaScale = 0.5 },
+		"slack":      func(s *Spec) { s.Slack = 4 },
+		"mosi":       func(s *Spec) { s.MOSI = true },
+		"block size": func(s *Spec) { s.BlockBytes = 128 },
+	} {
+		alt := base
+		mod(&alt)
+		key := alt.Canonical()
+		if prev, dup := seen[key]; dup {
+			t.Errorf("%s: collides with %s", name, prev)
+		}
+		seen[key] = name
+	}
+}

@@ -1,0 +1,75 @@
+package spec
+
+import (
+	"testing"
+)
+
+// These fuzzers lock the canonical-hash contract: any spec a JSON
+// document can describe must round-trip identically through both
+// renderings (JSON and the flag set), and equivalent renderings must
+// agree on their content address — the property the result store and
+// dedup queue key on. Seed inputs live in testdata/fuzz (plus the f.Add
+// corpus below); run with `go test -fuzz FuzzSpecJSONRoundTrip` to
+// explore further.
+
+// fuzzSeeds is the committed in-code corpus: the defaults, a spec with
+// every field off its default, sparse documents, and normalization edge
+// cases (zero scales, negative warmup, trace-scheme names).
+func fuzzSeeds(f *testing.F) {
+	f.Add(string(Default().JSON()))
+	f.Add(string(varied().JSON()))
+	f.Add(`{}`)
+	f.Add(`{"benchmark":"DSS","nodes":4}`)
+	f.Add(`{"benchmark":"trace:/tmp/x.tstrace","quota_scale":0,"warmup_scale":0}`)
+	f.Add(`{"warmup":-7,"seeds":0,"workers":9,"seed":18446744073709551615}`)
+	f.Add(`{"quota_scale":0.1234567890123456789,"perturb_ns":9223372036854775807}`)
+}
+
+func FuzzSpecJSONRoundTrip(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := FromJSON([]byte(data))
+		if err != nil {
+			return // not a spec document; nothing to round-trip
+		}
+		back, err := FromJSON(s.JSON())
+		if err != nil {
+			t.Fatalf("re-parse of %s failed: %v", s.JSON(), err)
+		}
+		if back != s {
+			t.Fatalf("JSON round trip not identity:\n%+v\n%+v", s, back)
+		}
+		if s.Canonical() != back.Canonical() {
+			t.Fatalf("round trip changed the canonical hash of %+v", s)
+		}
+		// Normalization is idempotent and hash-neutral: the canonical
+		// form is its own representative.
+		n := s.Normalize()
+		if n.Normalize() != n {
+			t.Fatalf("Normalize not idempotent: %+v -> %+v", n, n.Normalize())
+		}
+		if n.Canonical() != s.Canonical() {
+			t.Fatalf("normalized spec hashes differently:\n%+v\n%+v", s, n)
+		}
+	})
+}
+
+func FuzzSpecArgsRoundTrip(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := FromJSON([]byte(data))
+		if err != nil {
+			return
+		}
+		back, err := FromArgs(s.Args())
+		if err != nil {
+			t.Fatalf("FromArgs(%v) failed: %v", s.Args(), err)
+		}
+		if back != s {
+			t.Fatalf("flag round trip not identity:\n%+v\n%+v", s, back)
+		}
+		if back.Canonical() != s.Canonical() {
+			t.Fatalf("flag round trip changed the canonical hash of %+v", s)
+		}
+	})
+}

@@ -1,11 +1,19 @@
 package stats
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"fmt"
 
-// This file gives Run a stable machine-readable rendering. The JSON
-// field names are a public contract (tsnoop's -json output and the
-// golden tests depend on them): add fields if the Run grows, but never
-// rename or reorder the existing ones.
+	"tsnoop/internal/sim"
+)
+
+// This file gives Run a stable machine-readable rendering — and reads it
+// back. The JSON field names are a public contract (tsnoop's -json
+// output, the golden tests, and the service result store depend on
+// them): add fields if the Run grows, but never rename or reorder the
+// existing ones. MarshalJSON(UnmarshalJSON(data)) reproduces data byte
+// for byte, which is what lets the content-addressed store serve a
+// decoded Run as the identical response the original simulation gave.
 
 // jsonLatency mirrors Latency for marshalling.
 type jsonLatency struct {
@@ -17,6 +25,19 @@ type jsonLatency struct {
 
 func latencyJSON(l Latency) jsonLatency {
 	return jsonLatency{Count: l.Count(), MeanPS: int64(l.Mean()), MinPS: int64(l.Min()), MaxPS: int64(l.Max())}
+}
+
+// latencyFromJSON inverts latencyJSON. The distribution's sum is not
+// marshalled, so it is reconstructed as mean x count: Mean(), Min(),
+// Max(), and Count() — everything the reports read — survive the round
+// trip exactly.
+func latencyFromJSON(j jsonLatency) Latency {
+	return Latency{
+		count: j.Count,
+		sum:   sim.Time(j.MeanPS) * sim.Time(j.Count),
+		min:   sim.Time(j.MinPS),
+		max:   sim.Time(j.MaxPS),
+	}
 }
 
 // jsonClass mirrors one traffic class for marshalling.
@@ -84,6 +105,54 @@ func (r *Run) MarshalJSON() ([]byte, error) {
 		EarlyProcessed:       r.EarlyProcessed,
 		ReorderOccupancyPeak: r.ReorderOccupancy.Max(),
 	})
+}
+
+// UnmarshalJSON reads a run back from its MarshalJSON rendering, so
+// caches and services can serve stored results without re-simulating.
+// Derived fields not present in the JSON (latency sums, time-weighted
+// occupancy) are reconstructed where possible and zero otherwise; every
+// marshalled field round-trips byte-identically.
+func (r *Run) UnmarshalJSON(data []byte) error {
+	var j jsonRun
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	*r = Run{
+		Retries: j.Retries,
+
+		MissLatency:         latencyFromJSON(j.MissLatency),
+		CacheToCacheLatency: latencyFromJSON(j.CacheToCacheLatency),
+		MemoryLatency:       latencyFromJSON(j.MemoryLatency),
+		OrderingDelay:       latencyFromJSON(j.OrderingDelay),
+
+		ReorderOccupancy: Occupancy{max: j.ReorderOccupancyPeak},
+
+		Runtime:      sim.Time(j.RuntimePS),
+		Instructions: j.Instructions,
+		MemOps:       j.MemOps,
+		L2Hits:       j.L2Hits,
+
+		DataTouched:    j.DataTouched,
+		EarlyProcessed: j.EarlyProcessed,
+	}
+	r.misses[MissFromMemory] = j.MissesFromMemory
+	r.misses[MissCacheToCache] = j.MissesCacheToCache
+	r.misses[MissUpgrade] = j.MissesUpgrade
+	for c, jc := range map[Class]jsonClass{
+		ClassData:    j.TrafficData,
+		ClassRequest: j.TrafficRequest,
+		ClassNack:    j.TrafficNack,
+		ClassMisc:    j.TrafficMisc,
+	} {
+		r.Traffic.linkBytes[c] = jc.LinkBytes
+		r.Traffic.messages[c] = jc.Messages
+	}
+	// The marshalled total is derived from the classes; a mismatch means
+	// the document was corrupted or hand-edited, so refuse it.
+	if got := r.Traffic.TotalLinkBytes(); got != j.TrafficTotalLinkBytes {
+		return fmt.Errorf("stats: traffic classes sum to %d link bytes but total says %d", got, j.TrafficTotalLinkBytes)
+	}
+	return nil
 }
 
 // Best picks the minimum-runtime run — the paper's reporting rule ("we
