@@ -387,12 +387,42 @@ func benchProtocolMiss(b *testing.B, proto string) {
 		b.Fatal(err)
 	}
 	s.Execute()
+	done := false
+	doneFn := func(coherence.AccessResult) { done = true }
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		done := false
+		done = false
 		blk := coherence.Block(1<<22 + i)
-		s.Proto.Access(i%16, coherence.Load, blk, func(coherence.AccessResult) { done = true })
+		s.Proto.Access(i%16, coherence.Load, blk, doneFn)
+		s.K.RunWhile(func() bool { return !done })
+	}
+}
+
+// BenchmarkTSSnoopMissSteady measures the steady-state miss path: two
+// nodes ping-pong stores to one block, so every access is a
+// cache-to-cache GETX miss over warm protocol state. Unlike
+// BenchmarkTSSnoopMiss (a cold block every iteration), this is the
+// allocation-free regime the simulation spends its time in; the
+// allocation-budget test TestMissAllocs pins it at zero.
+func BenchmarkTSSnoopMissSteady(b *testing.B) {
+	cfg := system.DefaultConfig(system.ProtoTSSnoop, system.NetButterfly)
+	cfg.WarmupPerCPU = 1
+	cfg.MeasurePerCPU = 1
+	gen := workload.Uniform(1<<20, 0.0, 10, 16)
+	s, err := system.Build(cfg, gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Execute()
+	done := false
+	doneFn := func(coherence.AccessResult) { done = true }
+	const blk = coherence.Block(1 << 22)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done = false
+		s.Proto.Access(i%2, coherence.Store, blk, doneFn)
 		s.K.RunWhile(func() bool { return !done })
 	}
 }

@@ -35,6 +35,18 @@
 // points as NDJSON in presentation order. The run, grid, and sweep
 // subcommands hit the same store locally via -cache.
 //
+// The simulation core is allocation-free at steady state: the event
+// kernel is a hand-rolled 4-ary min-heap of inline events with a typed
+// (closure-free) scheduling path, the address network recycles
+// transaction copies through free lists and keeps switch and endpoint
+// state in dense, reused slices, and the protocols pool their payload
+// messages. The network's Verify/Trace instrumentation lives behind the
+// configuration and defaults off for experiment runs (re-enable with
+// -verify / core.WithVerify; results are identical either way).
+// BENCH_5.json records the measured before/after numbers, and the
+// bench-regression CI job guards them via scripts/benchguard; see the
+// README's Performance section.
+//
 // The command-line surface is the single cmd/tsnoop tool, whose
 // subcommands (run, grid, sweep, tables, check, trace, serve, submit,
 // version) all parse the same Spec flag set. The public entry point for

@@ -95,8 +95,13 @@ func New(cfg Config) (*Cache, error) {
 		blockBytes: cfg.BlockBytes,
 		sizeBytes:  cfg.SizeBytes,
 	}
+	// One contiguous backing array for every line, sliced per set: a
+	// 4 MB cache is 16K sets, and a slice allocation per set dominated
+	// whole-simulation allocation profiles (and scattered the lines
+	// across the heap).
+	lines := make([]line, nLines)
 	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+		c.sets[i] = lines[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	return c, nil
 }

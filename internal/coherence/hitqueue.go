@@ -1,0 +1,30 @@
+package coherence
+
+import "tsnoop/internal/sim"
+
+// HitQueue buffers a node's in-flight L2-hit completions. Every hit
+// shares the protocol's one hit latency, so completions deliver in
+// strict FIFO order (see sim.FIFO); protocols Push the completion and
+// schedule DeliverHit as a typed kernel event, replacing a closure per
+// hit. Both coherence protocol families use this helper, keeping the
+// FIFO-matches-event-order invariant in one place.
+type HitQueue struct {
+	q sim.FIFO[pendingHit]
+}
+
+type pendingHit struct {
+	done   func(AccessResult)
+	result AccessResult
+}
+
+// Push enqueues one completion.
+func (h *HitQueue) Push(done func(AccessResult), result AccessResult) {
+	h.q.Push(pendingHit{done: done, result: result})
+}
+
+// DeliverHit is the typed kernel event (sim.EventFn) completing the
+// oldest queued hit: a0 is the *HitQueue.
+func DeliverHit(a0, a1 any, i0 int64) {
+	p := a0.(*HitQueue).q.Pop()
+	p.done(p.result)
+}

@@ -109,6 +109,7 @@ var (
 	WithMOSI            = spec.WithMOSI
 	WithMulticast       = spec.WithMulticast
 	WithPredictorSize   = spec.WithPredictorSize
+	WithVerify          = spec.WithVerify
 	WithBlockBytes      = spec.WithBlockBytes
 	WithCacheBytes      = spec.WithCacheBytes
 )

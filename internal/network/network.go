@@ -52,6 +52,11 @@ type Fabric struct {
 	ordered  map[int]bool
 	lastAt   map[orderKey]sim.Time
 
+	// msgPool recycles in-flight message envelopes: a delivery returns
+	// its envelope to the pool before invoking the handler, so a steady
+	// stream of sends allocates nothing.
+	msgPool sim.Pool[Message]
+
 	// Counters for tests and reports.
 	sent int64
 }
@@ -110,7 +115,7 @@ func (f *Fabric) Send(vnet, src, dst int, class stats.Class, bytes int, payload 
 		lat += f.perturb()
 	}
 	arrive := f.k.Now() + lat
-	if f.ordered[vnet] {
+	if len(f.ordered) > 0 && f.ordered[vnet] {
 		key := orderKey{vnet, src, dst}
 		if prev := f.lastAt[key]; arrive < prev {
 			arrive = prev
@@ -125,12 +130,24 @@ func (f *Fabric) Send(vnet, src, dst int, class stats.Class, bytes int, payload 
 		f.traffic.Add(class, 0, bytes)
 	}
 	f.sent++
-	m := Message{
+	pm := f.msgPool.Get()
+	*pm = Message{
 		VNet: vnet, Src: src, Dst: dst,
 		Class: class, Bytes: bytes, Payload: payload,
 		SentAt: f.k.Now(), ArriveAt: arrive,
 	}
-	f.k.At(arrive, func() { f.handlers[dst](m) })
+	f.k.AtCall(arrive, deliverMsg, f, pm, 0)
+}
+
+// deliverMsg is the typed kernel event completing a message transit: a0
+// is the Fabric, a1 the pooled envelope. The envelope is copied out and
+// recycled before the handler runs, so handlers may re-enter Send.
+func deliverMsg(a0, a1 any, i0 int64) {
+	f := a0.(*Fabric)
+	pm := a1.(*Message)
+	m := *pm
+	f.msgPool.Put(pm)
+	f.handlers[m.Dst](m)
 }
 
 // UnloadedLatency reports the fabric's latency between two endpoints

@@ -34,16 +34,25 @@ type Processor struct {
 	FinishedAt sim.Time
 
 	onFinish func(id int)
+
+	// pending is the access issued by the next issue event, and doneFn
+	// the completion callback handed to the protocol — both stored on the
+	// processor so the per-operation think/issue/complete cycle schedules
+	// only typed events and allocates nothing.
+	pending workload.Access
+	doneFn  func(coherence.AccessResult)
 }
 
 // New creates a processor for node id executing quota memory operations.
 func New(k *sim.Kernel, id int, proto coherence.Protocol, gen workload.Generator,
 	params timing.Params, rng *sim.Rand, run *stats.Run, quota int, onFinish func(int)) *Processor {
-	return &Processor{
+	p := &Processor{
 		k: k, id: id, proto: proto, gen: gen,
 		params: params, rng: rng, run: run,
 		quota: quota, onFinish: onFinish,
 	}
+	p.doneFn = p.accessDone
+	return p
 }
 
 // Start begins execution at the current simulated time.
@@ -64,17 +73,26 @@ func (p *Processor) step() {
 		}
 		return
 	}
-	acc := p.gen.Next(p.id, p.rng)
-	think := sim.Duration(acc.Think) * p.params.InstrTime
-	p.run.Instructions += int64(acc.Think)
-	p.k.After(think, func() {
-		p.run.MemOps++
-		p.proto.Access(p.id, acc.Op, acc.Block, func(r coherence.AccessResult) {
-			if r.Hit {
-				p.run.L2Hits++
-			}
-			p.executed++
-			p.step()
-		})
-	})
+	p.pending = p.gen.Next(p.id, p.rng)
+	think := sim.Duration(p.pending.Think) * p.params.InstrTime
+	p.run.Instructions += int64(p.pending.Think)
+	p.k.AfterCall(think, issueAccess, p, nil, 0)
+}
+
+// issueAccess is the typed kernel event ending a think period: a0 is the
+// Processor, which issues its pending memory operation.
+func issueAccess(a0, a1 any, i0 int64) {
+	p := a0.(*Processor)
+	p.run.MemOps++
+	p.proto.Access(p.id, p.pending.Op, p.pending.Block, p.doneFn)
+}
+
+// accessDone is the completion callback for every access this processor
+// issues (stored once in doneFn so issuing allocates no closure).
+func (p *Processor) accessDone(r coherence.AccessResult) {
+	if r.Hit {
+		p.run.L2Hits++
+	}
+	p.executed++
+	p.step()
 }

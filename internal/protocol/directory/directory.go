@@ -178,6 +178,14 @@ type node struct {
 	// in flight).
 	deferred map[coherence.Block][]msg
 	rng      *sim.Rand
+
+	// mshrStore is the node's single reusable MSHR: one miss is
+	// outstanding per node (blocking processors), so the value is reset
+	// and reused rather than allocated per miss.
+	mshrStore mshr
+
+	// hitQ buffers in-flight L2-hit completions.
+	hitQ coherence.HitQueue
 }
 
 // Protocol is one directory protocol instance over a topology.
@@ -194,6 +202,11 @@ type Protocol struct {
 
 	pending   int
 	dataBytes int
+
+	// msgPool recycles message payloads: each is delivered to exactly
+	// one endpoint, which returns it to the pool on receipt, so a steady
+	// stream of protocol messages allocates nothing.
+	msgPool sim.Pool[msg]
 }
 
 var _ coherence.Protocol = (*Protocol)(nil)
@@ -292,9 +305,8 @@ func (p *Protocol) Access(nodeID int, op coherence.Op, block coherence.Block, do
 			n.cache.SetVersion(block, version)
 		}
 		p.oracle.Observe(nodeID, block, version)
-		p.k.After(p.params.L2Hit, func() {
-			done(coherence.AccessResult{Hit: true, Latency: p.params.L2Hit, Version: version})
-		})
+		n.hitQ.Push(done, coherence.AccessResult{Hit: true, Latency: p.params.L2Hit, Version: version})
+		p.k.AfterCall(p.params.L2Hit, coherence.DeliverHit, &n.hitQ, nil, 0)
 		return
 	}
 
@@ -303,14 +315,30 @@ func (p *Protocol) Access(nodeID int, op coherence.Op, block coherence.Block, do
 		txn = coherence.GetX
 	}
 	p.pending++
-	n.mshr = &mshr{block: block, op: op, txn: txn, issuedAt: p.k.Now(), done: done}
+	m := &n.mshrStore
+	*m = mshr{block: block, op: op, txn: txn, issuedAt: p.k.Now(), done: done}
+	n.mshr = m
 	n.sendRequest()
 }
 
+// newMsg returns a pooled message payload holding m.
+func (p *Protocol) newMsg(m msg) *msg {
+	pm := p.msgPool.Get()
+	*pm = m
+	return pm
+}
+
+// releaseMsg recycles a delivered message payload.
+func (p *Protocol) releaseMsg(pm *msg) { p.msgPool.Put(pm) }
+
 // send transmits a protocol message, charging the right traffic class.
 func (p *Protocol) send(vnet, src, dst int, m msg) {
-	class, bytes := p.classify(m)
-	p.fabric.Send(vnet, src, dst, class, bytes, m)
+	p.sendPtr(vnet, src, dst, p.newMsg(m))
+}
+
+func (p *Protocol) sendPtr(vnet, src, dst int, pm *msg) {
+	class, bytes := p.classify(*pm)
+	p.fabric.Send(vnet, src, dst, class, bytes, pm)
 }
 
 // sendAt schedules a send at a future ready time.
@@ -319,7 +347,15 @@ func (p *Protocol) sendAt(at sim.Time, vnet, src, dst int, m msg) {
 		p.send(vnet, src, dst, m)
 		return
 	}
-	p.k.At(at, func() { p.send(vnet, src, dst, m) })
+	p.k.AtCall(at, sendMsgEvent, p, p.newMsg(m), int64(vnet)<<40|int64(src)<<20|int64(dst))
+}
+
+// sendMsgEvent is the typed kernel event putting a ready message on the
+// wire: a0 is the Protocol, a1 the pooled message, i0 packs
+// (vnet, src, dst) in 20-bit fields.
+func sendMsgEvent(a0, a1 any, i0 int64) {
+	p := a0.(*Protocol)
+	p.sendPtr(int(i0>>40), int(i0>>20)&0xfffff, int(i0&0xfffff), a1.(*msg))
 }
 
 // classify maps messages to Figure 4's traffic classes: Data for
@@ -352,7 +388,9 @@ func (n *node) sendRequest() {
 
 // receive dispatches a delivered message.
 func (n *node) receive(nm network.Message) {
-	m := nm.Payload.(msg)
+	pm := nm.Payload.(*msg)
+	m := *pm
+	n.p.releaseMsg(pm)
 	switch m.kind {
 	case mReq:
 		n.homeRequest(m)
@@ -489,11 +527,17 @@ func (n *node) reqNack(m msg) {
 	}
 	n.p.run.Retries++
 	back := n.p.opts.RetryBackoff + n.rng.Duration(n.p.opts.RetryBackoff)
-	n.p.k.After(back, func() {
-		if n.mshr != nil && n.mshr.block == m.block {
-			n.sendRequest()
-		}
-	})
+	n.p.k.AfterCall(back, retryRequest, n, nil, int64(m.block))
+}
+
+// retryRequest is the typed kernel event ending a NACK backoff: a0 is
+// the node, i0 the block whose miss is being retried (skipped when the
+// miss was satisfied or replaced in the meantime).
+func retryRequest(a0, a1 any, i0 int64) {
+	n := a0.(*node)
+	if n.mshr != nil && n.mshr.block == coherence.Block(i0) {
+		n.sendRequest()
+	}
 }
 
 // reqData handles the data response for this node's outstanding miss.
@@ -549,17 +593,21 @@ func (n *node) complete() {
 		}
 		n.insertLine(ms.block, cache.Modified, version)
 	}
-	n.p.oracle.Observe(n.id, ms.block, version)
-	ms.done(coherence.AccessResult{
-		Kind:    ms.supplier,
-		Latency: now - ms.issuedAt,
+	// Read everything out of the MSHR before invoking the completion
+	// callback: the node's single MSHR is reused, and done may issue the
+	// next access synchronously.
+	block, supplier, latency, done := ms.block, ms.supplier, now-ms.issuedAt, ms.done
+	n.p.oracle.Observe(n.id, block, version)
+	done(coherence.AccessResult{
+		Kind:    supplier,
+		Latency: latency,
 		Version: version,
 	})
-	n.p.run.AddMiss(ms.supplier, now-ms.issuedAt)
+	n.p.run.AddMiss(supplier, latency)
 
 	// Serve interventions that were waiting for this fill.
-	if dl := n.deferred[ms.block]; len(dl) > 0 {
-		delete(n.deferred, ms.block)
+	if dl := n.deferred[block]; len(dl) > 0 {
+		delete(n.deferred, block)
 		for _, f := range dl {
 			n.ownerFwd(f)
 		}

@@ -25,6 +25,7 @@ package tssnoop
 
 import (
 	"fmt"
+	"math/bits"
 
 	"tsnoop/internal/cache"
 	"tsnoop/internal/coherence"
@@ -92,6 +93,12 @@ func DefaultOptions(params timing.Params) Options {
 // addrTxn is the payload carried on the address network. requester is the
 // protocol-level requester: it differs from the tsnet source only for
 // multicast retries, which the home re-issues on the requester's behalf.
+//
+// One addrTxn is shared by every endpoint delivery of one injection (the
+// address network passes the payload pointer through); refs counts the
+// remaining deliveries and returns the transaction to the protocol's
+// free list when the last endpoint has consumed it, so a steady-state
+// miss allocates no payloads.
 type addrTxn struct {
 	kind      coherence.TxnKind
 	block     coherence.Block
@@ -102,9 +109,11 @@ type addrTxn struct {
 	// reinjected marks a home-issued full-broadcast retry of a failed
 	// multicast.
 	reinjected bool
+	refs       int32
 }
 
-// dataMsg travels on the unordered data virtual network.
+// dataMsg travels on the unordered data virtual network. Messages are
+// pooled: exactly one endpoint receives each, and dataArrive recycles it.
 type dataMsg struct {
 	block    coherence.Block
 	toMemory bool
@@ -122,6 +131,8 @@ type obligation struct {
 }
 
 // mshr tracks the node's single outstanding miss (blocking processors).
+// Each node owns one mshr value that is reset and reused per miss (the
+// obligations backing array survives the reset).
 type mshr struct {
 	block    coherence.Block
 	op       coherence.Op
@@ -174,10 +185,15 @@ type memState struct {
 	waiting      []memWait
 }
 
-// memWait is a deferred memory response.
+// memWait is a deferred memory response: the data needed to send the
+// memory copy to dst once dataReceived reaches need (plain data rather
+// than a closure; the version is read at delivery time, exactly as the
+// deferred send would).
 type memWait struct {
-	need    int64 // deliver once dataReceived reaches this
-	deliver func()
+	need  int64 // deliver once dataReceived reaches this
+	ready sim.Time
+	dst   int
+	block coherence.Block
 }
 
 type node struct {
@@ -185,13 +201,19 @@ type node struct {
 	id    int
 	cache *cache.Cache
 	mshr  *mshr
-	wb    map[coherence.Block]*wbEntry
+	wb    map[coherence.Block]wbEntry
 	mem   map[coherence.Block]*memState
 	// pred predicts the current owner per block for multicast masks,
 	// learned from snooped (always-broadcast) GETX and PUTX traffic.
 	// predFIFO implements the capacity bound's eviction order.
 	pred     map[coherence.Block]int
 	predFIFO []coherence.Block
+
+	// mshrStore is the node's single reusable MSHR (see mshr).
+	mshrStore mshr
+
+	// hitQ buffers in-flight L2-hit completions.
+	hitQ coherence.HitQueue
 }
 
 // Protocol is the timestamp snooping protocol over one topology.
@@ -209,6 +231,10 @@ type Protocol struct {
 
 	pending   int
 	dataBytes int
+
+	// Free lists for the two pooled payload kinds (see addrTxn, dataMsg).
+	addrPool sim.Pool[addrTxn]
+	dataPool sim.Pool[dataMsg]
 }
 
 var _ coherence.Protocol = (*Protocol)(nil)
@@ -239,7 +265,7 @@ func New(k *sim.Kernel, topo *topology.Topology, params timing.Params, run *stat
 			p:     p,
 			id:    i,
 			cache: cache.MustNew(opts.Cache),
-			wb:    make(map[coherence.Block]*wbEntry),
+			wb:    make(map[coherence.Block]wbEntry),
 			mem:   make(map[coherence.Block]*memState),
 			pred:  make(map[coherence.Block]int),
 		}
@@ -267,6 +293,46 @@ func (p *Protocol) Oracle() *coherence.Oracle { return p.oracle }
 // SetPerturbation installs a response-delay sampler on the data network
 // (the paper's stability methodology perturbs message responses).
 func (p *Protocol) SetPerturbation(fn func() sim.Duration) { p.data.SetPerturbation(fn) }
+
+// newAddr returns a zeroed address payload, recycled when possible.
+func (p *Protocol) newAddr() *addrTxn { return p.addrPool.Get() }
+
+// broadcastAddr broadcasts t on the address network, charging it with
+// one reference per endpoint delivery.
+func (p *Protocol) broadcastAddr(src int, t *addrTxn) {
+	t.refs = int32(p.topo.Nodes())
+	p.addr.Inject(src, t)
+}
+
+// multicastAddr multicasts t to its destination mask, charging one
+// reference per member endpoint.
+func (p *Protocol) multicastAddr(src int, t *addrTxn) {
+	mask := t.mask
+	if nodes := p.topo.Nodes(); nodes < 64 {
+		mask &= 1<<uint(nodes) - 1
+	}
+	t.refs = int32(bits.OnesCount64(mask))
+	p.addr.InjectTo(src, t.mask, t)
+}
+
+// releaseAddr drops one endpoint's reference; the last consumer returns
+// the payload to the free list.
+func (p *Protocol) releaseAddr(t *addrTxn) {
+	t.refs--
+	if t.refs == 0 {
+		p.addrPool.Put(t)
+	}
+}
+
+// newData returns a data message from the free list.
+func (p *Protocol) newData(block coherence.Block, toMemory bool, version uint64, supplier stats.MissKind) *dataMsg {
+	m := p.dataPool.Get()
+	*m = dataMsg{block: block, toMemory: toMemory, version: version, supplier: supplier}
+	return m
+}
+
+// releaseData recycles a delivered data message.
+func (p *Protocol) releaseData(m *dataMsg) { p.dataPool.Put(m) }
 
 // Node state inspection for tests: returns cache state of block at node.
 func (p *Protocol) CacheState(nodeID int, b coherence.Block) cache.State {
@@ -306,9 +372,8 @@ func (p *Protocol) Access(nodeID int, op coherence.Op, block coherence.Block, do
 			n.cache.SetVersion(block, version)
 		}
 		p.oracle.Observe(nodeID, block, version)
-		p.k.After(p.params.L2Hit, func() {
-			done(coherence.AccessResult{Hit: true, Latency: p.params.L2Hit, Version: version})
-		})
+		n.hitQ.Push(done, coherence.AccessResult{Hit: true, Latency: p.params.L2Hit, Version: version})
+		p.k.AfterCall(p.params.L2Hit, coherence.DeliverHit, &n.hitQ, nil, 0)
 		return
 	}
 
@@ -319,14 +384,22 @@ func (p *Protocol) Access(nodeID int, op coherence.Op, block coherence.Block, do
 		kind = coherence.GetX
 	}
 	p.pending++
-	n.mshr = &mshr{block: block, op: op, kind: kind, issuedAt: now, done: done}
-	t := addrTxn{kind: kind, block: block, requester: nodeID, mask: ^uint64(0)}
+	m := &n.mshrStore
+	obligations := m.obligations[:0]
+	*m = mshr{block: block, op: op, kind: kind, issuedAt: now, done: done}
+	m.obligations = obligations
+	n.mshr = m
+	t := p.newAddr()
+	t.kind = kind
+	t.block = block
+	t.requester = nodeID
+	t.mask = ^uint64(0)
 	if p.opts.Multicast && kind == coherence.GetS {
 		t.mask = n.multicastMask(block)
-		p.addr.InjectTo(nodeID, t.mask, t)
+		p.multicastAddr(nodeID, t)
 		return
 	}
-	p.addr.Inject(nodeID, t)
+	p.broadcastAddr(nodeID, t)
 }
 
 // multicastMask builds the predicted destination set for a GETS: the
@@ -341,13 +414,20 @@ func (n *node) multicastMask(block coherence.Block) uint64 {
 
 // sendData transmits a data message on the data virtual network at the
 // given ready time (never before now).
-func (p *Protocol) sendData(at sim.Time, src, dst int, m dataMsg) {
+func (p *Protocol) sendData(at sim.Time, src, dst int, m *dataMsg) {
 	if at < p.k.Now() {
 		at = p.k.Now()
 	}
-	p.k.At(at, func() {
-		p.data.Send(0, src, dst, stats.ClassData, p.dataBytes, m)
-	})
+	p.k.AtCall(at, sendDataEvent, p, m, int64(src)<<32|int64(dst))
+}
+
+// sendDataEvent is the typed kernel event putting a ready data message on
+// the wire: a0 is the Protocol, a1 the message, i0 packs (src, dst).
+func sendDataEvent(a0, a1 any, i0 int64) {
+	p := a0.(*Protocol)
+	m := a1.(*dataMsg)
+	src, dst := int(i0>>32), int(i0&0xffffffff)
+	p.data.Send(0, src, dst, stats.ClassData, p.dataBytes, m)
 }
 
 // respondReady computes when a controller can put data on the wire for a
@@ -375,7 +455,17 @@ func (p *Protocol) respondReady(arrivedAt sim.Time, access sim.Duration) sim.Tim
 // the arrival slack is strictly below the OT distance of a fresh
 // injection.
 func (n *node) peek(src int, seq uint64, payload any, slackTicks int) bool {
-	t := payload.(addrTxn)
+	t := payload.(*addrTxn)
+	if consumed := n.peekConsume(src, t, slackTicks); consumed {
+		// A consumed transaction's ordered handler never fires: this is
+		// the endpoint's one use of the payload.
+		n.p.releaseAddr(t)
+		return true
+	}
+	return false
+}
+
+func (n *node) peekConsume(src int, t *addrTxn, slackTicks int) bool {
 	if src == n.id {
 		return false
 	}
@@ -412,7 +502,7 @@ func (n *node) peek(src int, seq uint64, payload any, slackTicks int) bool {
 // cache-controller side, then (when this node is the block's home) the
 // memory-controller side.
 func (n *node) snoop(src int, seq uint64, payload any, arrived sim.Time) {
-	t := payload.(addrTxn)
+	t := payload.(*addrTxn)
 	if t.requester == n.id {
 		n.snoopOwn(t, arrived)
 	} else {
@@ -421,9 +511,10 @@ func (n *node) snoop(src int, seq uint64, payload any, arrived sim.Time) {
 	if coherence.HomeOf(t.block, n.p.topo.Nodes()) == n.id {
 		n.memorySide(t.requester, t, arrived)
 	}
+	n.p.releaseAddr(t)
 }
 
-func (n *node) snoopOwn(t addrTxn, arrived sim.Time) {
+func (n *node) snoopOwn(t *addrTxn, arrived sim.Time) {
 	switch t.kind {
 	case coherence.GetS, coherence.GetX:
 		m := n.mshr
@@ -460,12 +551,12 @@ func (n *node) snoopOwn(t addrTxn, arrived sim.Time) {
 		delete(n.wb, t.block)
 		if !wb.stale {
 			home := coherence.HomeOf(t.block, n.p.topo.Nodes())
-			n.p.sendData(n.p.k.Now(), n.id, home, dataMsg{block: t.block, toMemory: true, version: wb.version})
+			n.p.sendData(n.p.k.Now(), n.id, home, n.p.newData(t.block, true, wb.version, 0))
 		}
 	}
 }
 
-func (n *node) snoopForeign(src int, t addrTxn, arrived sim.Time) {
+func (n *node) snoopForeign(src int, t *addrTxn, arrived sim.Time) {
 	if n.p.opts.Multicast && n.p.opts.PredictorSize >= 0 {
 		// Owner prediction from the always-broadcast transactions.
 		switch t.kind {
@@ -507,7 +598,7 @@ func (n *node) snoopForeign(src int, t addrTxn, arrived sim.Time) {
 	case coherence.GetS:
 		switch {
 		case state == cache.Modified:
-			n.p.sendData(ready, n.id, src, dataMsg{block: t.block, version: version, supplier: stats.MissCacheToCache})
+			n.p.sendData(ready, n.id, src, n.p.newData(t.block, false, version, stats.MissCacheToCache))
 			if n.p.opts.UseOwnedState {
 				// MOSI: retain ownership in Owned; no memory writeback.
 				n.cache.SetState(t.block, cache.Owned)
@@ -515,38 +606,40 @@ func (n *node) snoopForeign(src int, t addrTxn, arrived sim.Time) {
 				// MSI: the owner supplies the requester and writes back
 				// to memory, which becomes the owner again (two data
 				// messages).
-				n.p.sendData(ready, n.id, home, dataMsg{block: t.block, toMemory: true, version: version})
+				n.p.sendData(ready, n.id, home, n.p.newData(t.block, true, version, 0))
 				n.cache.SetState(t.block, cache.Shared)
 			}
 		case state == cache.Owned:
 			// MOSI: the Owned copy supplies every subsequent reader.
-			n.p.sendData(ready, n.id, src, dataMsg{block: t.block, version: version, supplier: stats.MissCacheToCache})
+			n.p.sendData(ready, n.id, src, n.p.newData(t.block, false, version, stats.MissCacheToCache))
 		default:
 			if wb, ok := n.wb[t.block]; ok && !wb.stale {
 				// The block is in our writeback buffer: we are still the
 				// owner in logical order; supply from the buffer.
-				n.p.sendData(ready, n.id, src, dataMsg{block: t.block, version: wb.version, supplier: stats.MissCacheToCache})
+				n.p.sendData(ready, n.id, src, n.p.newData(t.block, false, wb.version, stats.MissCacheToCache))
 				if !n.p.opts.UseOwnedState {
 					// MSI: ownership returns to memory now; squash the
 					// PUTX. MOSI keeps ownership with the buffer until
 					// the PUTX itself is ordered, mirroring the memory
 					// controller's view.
-					n.p.sendData(ready, n.id, home, dataMsg{block: t.block, toMemory: true, version: wb.version})
+					n.p.sendData(ready, n.id, home, n.p.newData(t.block, true, wb.version, 0))
 					wb.stale = true
+					n.wb[t.block] = wb
 				}
 			}
 		}
 	case coherence.GetX:
 		switch {
 		case state == cache.Modified || state == cache.Owned:
-			n.p.sendData(ready, n.id, src, dataMsg{block: t.block, version: version, supplier: stats.MissCacheToCache})
+			n.p.sendData(ready, n.id, src, n.p.newData(t.block, false, version, stats.MissCacheToCache))
 			n.cache.SetState(t.block, cache.Invalid)
 		case state == cache.Shared:
 			n.cache.SetState(t.block, cache.Invalid)
 		default:
 			if wb, ok := n.wb[t.block]; ok && !wb.stale {
-				n.p.sendData(ready, n.id, src, dataMsg{block: t.block, version: wb.version, supplier: stats.MissCacheToCache})
+				n.p.sendData(ready, n.id, src, n.p.newData(t.block, false, wb.version, stats.MissCacheToCache))
 				wb.stale = true
+				n.wb[t.block] = wb
 			}
 		}
 	}
@@ -554,7 +647,7 @@ func (n *node) snoopForeign(src int, t addrTxn, arrived sim.Time) {
 
 // memorySide maintains the Synapse owner state and responds from memory
 // when memory owns the block.
-func (n *node) memorySide(src int, t addrTxn, arrived sim.Time) {
+func (n *node) memorySide(src int, t *addrTxn, arrived sim.Time) {
 	ms, ok := n.mem[t.block]
 	if !ok {
 		ms = &memState{owner: -1}
@@ -569,10 +662,13 @@ func (n *node) memorySide(src int, t addrTxn, arrived sim.Time) {
 			// instance has no effect anywhere (the owner never saw it and
 			// every member's cache action for a GETS at S/I is a no-op).
 			n.p.run.Retries++
-			n.p.addr.Inject(n.id, addrTxn{
-				kind: coherence.GetS, block: t.block,
-				requester: src, mask: ^uint64(0), reinjected: true,
-			})
+			retry := n.p.newAddr()
+			retry.kind = coherence.GetS
+			retry.block = t.block
+			retry.requester = src
+			retry.mask = ^uint64(0)
+			retry.reinjected = true
+			n.p.broadcastAddr(n.id, retry)
 			return
 		}
 		if ms.owner == -1 {
@@ -610,22 +706,23 @@ func (n *node) memorySide(src int, t addrTxn, arrived sim.Time) {
 
 // memRespond sends the memory copy to a requester, deferring while
 // writeback data that logically precedes this transaction is in flight.
+// A deferred response reads the memory version at delivery time, exactly
+// as an immediate one reads it now.
 func (n *node) memRespond(ms *memState, src int, b coherence.Block, arrived sim.Time) {
 	ready := n.p.respondReady(arrived, n.p.params.Dmem)
-	deliver := func() {
-		n.p.sendData(ready, n.id, src, dataMsg{block: b, version: ms.version, supplier: stats.MissFromMemory})
-	}
 	if ms.dataReceived < ms.dataOwed {
-		ms.waiting = append(ms.waiting, memWait{need: ms.dataOwed, deliver: deliver})
+		ms.waiting = append(ms.waiting, memWait{need: ms.dataOwed, ready: ready, dst: src, block: b})
 		return
 	}
-	deliver()
+	n.p.sendData(ready, n.id, src, n.p.newData(b, false, ms.version, stats.MissFromMemory))
 }
 
 // dataArrive handles data network deliveries: either a writeback into
 // memory or the fill for this node's outstanding miss.
 func (n *node) dataArrive(msg network.Message) {
-	d := msg.Payload.(dataMsg)
+	pd := msg.Payload.(*dataMsg)
+	d := *pd
+	n.p.releaseData(pd)
 	if d.toMemory {
 		// The entry may not exist yet when the sender's endpoint runs
 		// physically ahead of ours; create it as memory-owned, exactly as
@@ -651,7 +748,7 @@ func (n *node) dataArrive(msg network.Message) {
 		for len(ms.waiting) > 0 && ms.waiting[0].need <= ms.dataReceived {
 			w := ms.waiting[0]
 			ms.waiting = ms.waiting[1:]
-			w.deliver()
+			n.p.sendData(w.ready, n.id, w.dst, n.p.newData(w.block, false, ms.version, stats.MissFromMemory))
 		}
 		return
 	}
@@ -695,17 +792,17 @@ func (n *node) complete(m *mshr) {
 			switch ob.kind {
 			case coherence.GetS:
 				if state == cache.Modified || state == cache.Owned {
-					n.p.sendData(ready, n.id, ob.src, dataMsg{block: m.block, version: version, supplier: stats.MissCacheToCache})
+					n.p.sendData(ready, n.id, ob.src, n.p.newData(m.block, false, version, stats.MissCacheToCache))
 					if mosi {
 						state = cache.Owned
 					} else {
-						n.p.sendData(ready, n.id, home, dataMsg{block: m.block, toMemory: true, version: version})
+						n.p.sendData(ready, n.id, home, n.p.newData(m.block, true, version, 0))
 						state = cache.Shared
 					}
 				}
 			case coherence.GetX:
 				if state == cache.Modified || state == cache.Owned {
-					n.p.sendData(ready, n.id, ob.src, dataMsg{block: m.block, version: version, supplier: stats.MissCacheToCache})
+					n.p.sendData(ready, n.id, ob.src, n.p.newData(m.block, false, version, stats.MissCacheToCache))
 				}
 				state = cache.Invalid
 			}
@@ -715,13 +812,17 @@ func (n *node) complete(m *mshr) {
 		}
 	}
 
-	n.p.oracle.Observe(n.id, m.block, version)
-	m.done(coherence.AccessResult{
-		Kind:    m.supplier,
-		Latency: now - m.issuedAt,
+	// Read everything out of the MSHR before invoking the completion
+	// callback: the node's single MSHR is reused, and done may issue the
+	// next access synchronously.
+	block, supplier, latency, done := m.block, m.supplier, now-m.issuedAt, m.done
+	n.p.oracle.Observe(n.id, block, version)
+	done(coherence.AccessResult{
+		Kind:    supplier,
+		Latency: latency,
 		Version: version,
 	})
-	n.p.run.AddMiss(m.supplier, now-m.issuedAt)
+	n.p.run.AddMiss(supplier, latency)
 }
 
 // insertLine fills a block, handling victim eviction: a Modified victim
@@ -737,7 +838,15 @@ func (n *node) insertLine(b coherence.Block, s cache.State, version uint64) {
 		if _, dup := n.wb[victim.Block]; dup {
 			panic(fmt.Sprintf("tssnoop: node %d duplicate writeback for %x", n.id, victim.Block))
 		}
-		n.wb[victim.Block] = &wbEntry{version: victim.Version}
-		n.p.addr.Inject(n.id, addrTxn{kind: coherence.PutX, block: victim.Block})
+		n.wb[victim.Block] = wbEntry{version: victim.Version}
+		put := n.p.newAddr()
+		put.kind = coherence.PutX
+		put.block = victim.Block
+		// The requester must name the evicting node: snoop dispatches
+		// own-vs-foreign on it, so leaving it zero would misroute every
+		// writeback from a node other than 0 (node 0 would claim it and
+		// panic on its missing writeback entry).
+		put.requester = n.id
+		n.p.broadcastAddr(n.id, put)
 	}
 }

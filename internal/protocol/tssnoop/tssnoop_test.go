@@ -433,3 +433,28 @@ func TestAccessWhileOutstandingPanics(t *testing.T) {
 	}()
 	e.p.Access(0, coherence.Load, 2, func(coherence.AccessResult) {})
 }
+
+func TestWritebackFromNonZeroNode(t *testing.T) {
+	// Regression: PUTX transactions used to be injected with the
+	// requester field unset, so node 0 claimed every other node's
+	// writeback as its own (and panicked on its missing writeback
+	// entry) while the real evictor never cleaned up. Evict from a
+	// node other than 0 and check the full writeback round trip.
+	e := newEnv(t, topology.MustButterfly(4), nil)
+	e.settle(100 * sim.Nanosecond)
+	base := coherence.Block(16)
+	for i := 0; i < 5; i++ {
+		e.access(t, 7, coherence.Store, base+coherence.Block(i*256))
+	}
+	e.settle(500 * sim.Nanosecond)
+	if s := e.p.CacheState(7, base); s != cache.Invalid {
+		t.Fatalf("evicted block state = %v", s)
+	}
+	if e.p.MemOwner(base) != -1 {
+		t.Fatalf("memory owner after writeback = %d, want memory", e.p.MemOwner(base))
+	}
+	res := e.access(t, 2, coherence.Load, base)
+	if res.Kind != stats.MissFromMemory || res.Version != 1 {
+		t.Fatalf("reload = %+v, want memory/version 1", res)
+	}
+}

@@ -1,0 +1,36 @@
+package sim
+
+// FIFO is a slice-backed queue for the typed-event delivery pattern
+// used throughout the hot paths: when every pending completion shares
+// one fixed delay, kernel dispatch order (at, seq) is exactly push
+// order, so a plain FIFO replaces a closure per completion. Pops zero
+// the vacated slot (dead payloads are not retained) and the backing
+// array is reused once drained, so steady-state push/pop allocates
+// nothing.
+type FIFO[T any] struct {
+	buf  []T
+	head int
+}
+
+// Push appends v.
+func (f *FIFO[T]) Push(v T) { f.buf = append(f.buf, v) }
+
+// Pop removes and returns the oldest element. The caller must know the
+// queue is non-empty (one pending typed event per pushed element).
+func (f *FIFO[T]) Pop() T {
+	var zero T
+	v := f.buf[f.head]
+	f.buf[f.head] = zero
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return v
+}
+
+// Len reports the number of queued elements.
+func (f *FIFO[T]) Len() int { return len(f.buf) - f.head }
+
+// Cap reports the backing array's capacity (capacity-stability tests).
+func (f *FIFO[T]) Cap() int { return cap(f.buf) }

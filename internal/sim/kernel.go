@@ -1,44 +1,43 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// event is a scheduled callback.
+// EventFn is the typed-event callback: a plain function (no closure)
+// invoked with the arguments captured at scheduling time. The hot paths
+// of the simulator — link deliveries, port service, protocol handoffs —
+// schedule typed events so that the steady state allocates nothing: a
+// package-level EventFn value, pointer receivers boxed in `any` (pointer
+// interfaces do not allocate), and one scalar slot cover every case.
+type EventFn func(a0, a1 any, i0 int64)
+
+// event is a scheduled callback, stored inline in the kernel's heap (no
+// interface boxing, no per-event allocation). Exactly one of fn and tfn
+// is set: fn is the convenience closure path, tfn the allocation-free
+// typed path.
 type event struct {
-	at  Time
-	seq uint64 // insertion order; breaks ties deterministically (FIFO)
-	fn  func()
-}
-
-// eventHeap implements heap.Interface ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() (Time, bool) { // smallest timestamp without popping
-	if len(h) == 0 {
-		return 0, false
-	}
-	return h[0].at, true
+	at     Time
+	seq    uint64 // insertion order; breaks ties deterministically (FIFO)
+	fn     func()
+	tfn    EventFn
+	a0, a1 any
+	i0     int64
 }
 
 // Kernel is a deterministic discrete-event scheduler. The zero value is
 // ready to use at time zero.
+//
+// The event queue is a hand-rolled 4-ary min-heap of inline event values
+// ordered by (at, seq). A 4-ary heap halves the tree depth of a binary
+// heap and keeps a sift-down's children adjacent in memory, and holding
+// events by value avoids the per-operation interface boxing that
+// container/heap imposes: Push/Pop through heap.Interface move every
+// event in and out of an `any`, which heap-allocates any struct larger
+// than a word.
 type Kernel struct {
 	now    Time
 	seq    uint64
-	events eventHeap
-	// Executed counts dispatched events; useful for progress accounting
+	events []event
+	// executed counts dispatched events; useful for progress accounting
 	// and loop-detection in tests.
 	executed uint64
 }
@@ -55,6 +54,68 @@ func (k *Kernel) Executed() uint64 { return k.executed }
 // Pending returns the number of scheduled-but-not-yet-dispatched events.
 func (k *Kernel) Pending() int { return len(k.events) }
 
+// less orders events by (at, seq); seq is unique, so this is a strict
+// total order and dispatch is deterministic regardless of heap shape.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts e, sifting up through the 4-ary heap.
+func (k *Kernel) push(e event) {
+	h := append(k.events, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(&h[i], &h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	k.events = h
+}
+
+// popMin removes and returns the earliest event. The caller must have
+// checked that the heap is non-empty. The vacated tail slot is zeroed so
+// the heap's backing array does not retain references to dead callbacks
+// and payloads.
+func (k *Kernel) popMin() event {
+	h := k.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	k.events = h
+	// Sift down: swap with the smallest of up to four children.
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		min := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(&h[j], &h[min]) {
+				min = j
+			}
+		}
+		if !less(&h[min], &h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past (t less
 // than Now) panics: it would silently corrupt causality.
 func (k *Kernel) At(t Time, fn func()) {
@@ -62,7 +123,7 @@ func (k *Kernel) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+	k.push(event{at: t, seq: k.seq, fn: fn})
 }
 
 // After schedules fn to run d picoseconds from now. Negative delays panic.
@@ -73,16 +134,42 @@ func (k *Kernel) After(d Duration, fn func()) {
 	k.At(k.now+d, fn)
 }
 
+// AtCall schedules the typed event fn(a0, a1, i0) at absolute time t.
+// Unlike At with a capturing closure, nothing here allocates at steady
+// state: fn should be a package-level function, a0/a1 pointers
+// (pointer-to-any conversions do not allocate), and i0 any scalar
+// payload. Scheduling in the past panics.
+func (k *Kernel) AtCall(t Time, fn EventFn, a0, a1 any, i0 int64) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	k.push(event{at: t, seq: k.seq, tfn: fn, a0: a0, a1: a1, i0: i0})
+}
+
+// AfterCall schedules the typed event fn(a0, a1, i0) d picoseconds from
+// now. Negative delays panic.
+func (k *Kernel) AfterCall(d Duration, fn EventFn, a0, a1 any, i0 int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.AtCall(k.now+d, fn, a0, a1, i0)
+}
+
 // Step dispatches the single earliest event, advancing the clock to its
 // timestamp. It reports false when no events remain.
 func (k *Kernel) Step() bool {
 	if len(k.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.events).(event)
+	e := k.popMin()
 	k.now = e.at
 	k.executed++
-	e.fn()
+	if e.tfn != nil {
+		e.tfn(e.a0, e.a1, e.i0)
+	} else {
+		e.fn()
+	}
 	return true
 }
 
@@ -95,11 +182,7 @@ func (k *Kernel) Run() {
 // RunUntil dispatches events with timestamps <= t, then sets the clock to t.
 // Events scheduled beyond t remain pending.
 func (k *Kernel) RunUntil(t Time) {
-	for {
-		at, ok := k.events.peek()
-		if !ok || at > t {
-			break
-		}
+	for len(k.events) > 0 && k.events[0].at <= t {
 		k.Step()
 	}
 	if t > k.now {

@@ -17,6 +17,9 @@ import (
 //
 //   - Workers is cleared: the engine's output is byte-identical at any
 //     worker count, so scheduling never participates in the identity.
+//   - Verify is cleared: the ordering assertions are instrumentation
+//     that can never change a run's statistics, so a verified and an
+//     unverified run of the same spec are the same experiment.
 //   - A zero QuotaScale/WarmupScale means "unscaled" (see Config's quota
 //     resolution) and becomes the equivalent explicit 1.
 //   - Every negative Warmup requests the same explicitly empty warm-up
@@ -28,6 +31,7 @@ import (
 // never guesses that a knob is ignored by the selected protocol.
 func (s Spec) Normalize() Spec {
 	s.Workers = 0
+	s.Verify = false
 	if s.QuotaScale == 0 {
 		s.QuotaScale = 1
 	}

@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"bytes"
 	"regexp"
 	"testing"
 )
@@ -58,5 +59,24 @@ func TestCanonicalSeparatesDistinctSpecs(t *testing.T) {
 			t.Errorf("%s: collides with %s", name, prev)
 		}
 		seen[key] = name
+	}
+}
+
+// The canonical hash is an on-disk store key: introducing the verify
+// knob (PR 5) must not perturb it, or every existing result store goes
+// cold. The default spec's hash is pinned to its pre-knob value, and a
+// verified spec hashes identically to its unverified twin (Verify is
+// instrumentation: provably the same experiment).
+func TestCanonicalStableAcrossVerifyKnob(t *testing.T) {
+	const pr4Default = "54bede6ba4a5e463b291a0464f4557afadb95d5a952191eee278d96e7c6c3896"
+	if got := Default().Canonical(); got != pr4Default {
+		t.Errorf("Default().Canonical() = %s, want the pre-verify-knob hash %s", got, pr4Default)
+	}
+	s := New("barnes", WithVerify())
+	if s.Canonical() != New("barnes").Canonical() {
+		t.Error("WithVerify changed the canonical hash; verified and unverified runs are the same experiment")
+	}
+	if bytes.Contains(Default().JSON(), []byte("verify")) {
+		t.Error("default spec JSON should omit the verify field (store-key stability)")
 	}
 }

@@ -78,6 +78,7 @@ func (s Spec) ConfigFor(gen workload.Generator) (system.Config, error) {
 	cfg.UseOwnedState = s.MOSI
 	cfg.Multicast = s.Multicast
 	cfg.PredictorSize = s.PredictorSize
+	cfg.Verify = s.Verify
 	if s.BlockBytes > 0 {
 		cfg.Cache.BlockBytes = s.BlockBytes
 	}

@@ -86,6 +86,20 @@ type Spec struct {
 	// negative = disabled).
 	PredictorSize int `json:"predictor_size"`
 
+	// Verify re-enables the address network's internal ordering
+	// assertions for TS-Snoop runs (tsnet.Config.Verify). Off by
+	// default: the assertions are pure instrumentation — they can never
+	// change a run's statistics — and cost an allocation per broadcast
+	// copy, so experiment runs skip them. The network and protocol test
+	// suites keep them on independently of this knob.
+	//
+	// The field is omitted from JSON when false — the one exception to
+	// the emit-every-field rule — so the canonical rendering (and hence
+	// every Canonical() store key) of all pre-existing specs is
+	// unchanged by the knob's introduction: result stores stay warm
+	// across the upgrade.
+	Verify bool `json:"verify,omitempty"`
+
 	// Cache geometry overrides (0 = the paper's 4 MB / 64 B default).
 	BlockBytes int `json:"block_bytes"`
 	CacheBytes int `json:"cache_bytes"`
@@ -178,6 +192,10 @@ func WithMulticast() Option { return func(s *Spec) { s.Multicast = true } }
 
 // WithPredictorSize bounds the multicast owner predictor.
 func WithPredictorSize(n int) Option { return func(s *Spec) { s.PredictorSize = n } }
+
+// WithVerify re-enables the address network's internal ordering
+// assertions (instrumentation only; results are identical either way).
+func WithVerify() Option { return func(s *Spec) { s.Verify = true } }
 
 // WithBlockBytes overrides the cache block size.
 func WithBlockBytes(n int) Option { return func(s *Spec) { s.BlockBytes = n } }

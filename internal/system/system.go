@@ -59,6 +59,12 @@ type Config struct {
 	Prefetch        bool
 	EarlyProcessing bool
 	Contention      bool
+	// Verify enables the address network's internal ordering assertions
+	// (tsnet.Config.Verify). Experiment runs default it off: the
+	// consensus bookkeeping costs an allocation per broadcast copy and
+	// buys nothing on a correct build. The tsnet and protocol test
+	// suites, which construct their networks directly, keep it on.
+	Verify bool
 	// UseOwnedState upgrades TS-Snoop from MSI to MOSI (the paper's
 	// Section 3 extension; see tssnoop.Options).
 	UseOwnedState bool
@@ -144,6 +150,7 @@ func Build(cfg Config, gen workload.Generator) (*System, error) {
 		opts.Net.InitialSlack = cfg.InitialSlack
 		opts.Net.TokensPerPort = cfg.TokensPerPort
 		opts.Net.Contention = cfg.Contention
+		opts.Net.Verify = cfg.Verify
 		opts.Prefetch = cfg.Prefetch
 		opts.EarlyProcessing = cfg.EarlyProcessing
 		opts.UseOwnedState = cfg.UseOwnedState

@@ -1,0 +1,104 @@
+package tsnet
+
+import (
+	"testing"
+
+	"tsnoop/internal/sim"
+	"tsnoop/internal/stats"
+	"tsnoop/internal/topology"
+)
+
+// TestBroadcastAllocs pins the allocation-free steady state of the
+// address network: an uncontended broadcast — injection, 21 link
+// deliveries, 16 reorder insertions, ordered handler handoffs, and the
+// token traffic interleaved with it — must not allocate once the free
+// lists and backing arrays are warm. Uninstrumented configuration
+// (Verify off), as experiment runs use.
+func TestBroadcastAllocs(t *testing.T) {
+	topo := topology.MustButterfly(4)
+	k := sim.NewKernel()
+	run := &stats.Run{}
+	cfg := DefaultConfig()
+	cfg.Verify = false
+	net := New(k, topo, cfg, &run.Traffic, run)
+	delivered := 0
+	for ep := 0; ep < topo.Nodes(); ep++ {
+		net.Register(ep, func(int, uint64, any, sim.Time) { delivered++ }, nil)
+	}
+	net.Start()
+	k.RunUntil(100 * sim.Nanosecond)
+	// Warm the pools: a few broadcasts populate the txn free list, the
+	// reorder heaps, and the endpoint outboxes.
+	src := 0
+	for i := 0; i < 8; i++ {
+		want := delivered + topo.Nodes()
+		net.Inject(src, nil)
+		src = (src + 1) % topo.Nodes()
+		k.RunWhile(func() bool { return delivered < want })
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		want := delivered + topo.Nodes()
+		net.Inject(src, nil)
+		src = (src + 1) % topo.Nodes()
+		k.RunWhile(func() bool { return delivered < want })
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state broadcast allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestContendedBufferCapacityStabilizes pins the backing-array reuse of
+// the switch transaction buffers and endpoint reorder queues: under
+// sustained contended load, the capacities reached after a warm-up burst
+// must not grow across many further identical bursts (the pre-rewrite
+// slice-splice and heap pop leaked capacity growth on long runs).
+func TestContendedBufferCapacityStabilizes(t *testing.T) {
+	topo := topology.MustButterfly(4)
+	k := sim.NewKernel()
+	run := &stats.Run{}
+	cfg := DefaultConfig()
+	cfg.Verify = false
+	cfg.Contention = true
+	net := New(k, topo, cfg, &run.Traffic, run)
+	delivered := 0
+	for ep := 0; ep < topo.Nodes(); ep++ {
+		net.Register(ep, func(int, uint64, any, sim.Time) { delivered++ }, nil)
+	}
+	net.Start()
+	k.RunUntil(100 * sim.Nanosecond)
+
+	burst := func() {
+		want := delivered + 6*topo.Nodes()
+		for j := 0; j < 6; j++ {
+			net.Inject((j*5)%topo.Nodes(), nil)
+		}
+		k.RunWhile(func() bool { return delivered < want })
+	}
+	for i := 0; i < 10; i++ {
+		burst()
+	}
+	caps := func() (bufCap, queueCap, outCap int) {
+		for _, sw := range net.switches {
+			bufCap += cap(sw.buffered)
+		}
+		for _, ep := range net.endpoints {
+			queueCap += cap(ep.queue.h)
+			outCap += ep.outbox.Cap()
+		}
+		return
+	}
+	b0, q0, o0 := caps()
+	for i := 0; i < 200; i++ {
+		burst()
+	}
+	b1, q1, o1 := caps()
+	if b1 > b0 || q1 > q0 || o1 > o0 {
+		t.Errorf("capacities grew under sustained load: buffers %d -> %d, queues %d -> %d, outboxes %d -> %d",
+			b0, b1, q0, q1, o0, o1)
+	}
+
+	if allocs := testing.AllocsPerRun(100, burst); allocs != 0 {
+		t.Errorf("steady-state contended burst allocates %v/op, want 0", allocs)
+	}
+}

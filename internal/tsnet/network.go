@@ -18,6 +18,14 @@
 // Endpoints insert arriving transactions into a priority queue and process
 // them at their ordering time, identically ordered everywhere (ties broken
 // by source ID then per-source sequence).
+//
+// The implementation is allocation-free at steady state: transaction
+// copies come from a free list and return to it when consumed, per-port
+// switch state lives in dense slices indexed by local port position,
+// the endpoint reorder queues are hand-rolled heaps of inline values,
+// and every hot-path event is a typed kernel event rather than a
+// closure. The Verify/Trace instrumentation fields live behind a debug
+// pointer that uninstrumented runs never touch.
 package tsnet
 
 import (
@@ -51,7 +59,9 @@ type Config struct {
 	SerTime sim.Duration
 	// Verify enables internal assertions: every transaction must be
 	// processed at exactly its ordering time, with non-negative slack
-	// throughout. Used by tests; cheap enough to leave on.
+	// throughout. The tsnet and protocol test suites keep it on;
+	// experiment runs (system.DefaultConfig) leave it off so production
+	// figure runs skip the consensus bookkeeping entirely.
 	Verify bool
 	// Trace records per-hop slack adjustments on every transaction copy;
 	// the history is attached to ordering-consensus panic messages.
@@ -61,6 +71,9 @@ type Config struct {
 
 // DefaultConfig returns the configuration used for the paper's
 // experiments: slack 1, one token per port, no contention modelling.
+// Verify is on — this constructor is the entry point of the network and
+// protocol test suites; experiment runs disable it through
+// system.Config.
 func DefaultConfig() Config {
 	return Config{
 		Params:        timing.Default(),
@@ -96,22 +109,48 @@ type otCell struct {
 	val uint64
 }
 
+// txnDebug carries the Verify/Trace-only instrumentation of a
+// transaction copy: the formula ordering time, the cross-endpoint
+// consensus cell (shared by every copy of one injection), and the
+// per-copy hop history. Uninstrumented runs leave dbg nil and never
+// touch any of it.
+type txnDebug struct {
+	ot   uint64  // formula ordering time GT_src + Dmax + S (Verify)
+	cell *otCell // cross-endpoint ordering-time consensus (Verify)
+	hist []string
+}
+
 // txn is an in-flight copy of an address transaction. Broadcast fan-out
 // duplicates the copy per branch; each copy carries its own slack. mask is
 // the destination set (all ones for a broadcast): switches prune branches
 // whose reach does not intersect it, which never changes a surviving
 // copy's path, so ordering times remain globally consistent between
 // multicasts and broadcasts.
+//
+// Uninstrumented copies (dbg == nil) are recycled through the Network's
+// free list the moment they are consumed — on switch fan-out and on
+// endpoint arrival — so a steady-state broadcast allocates nothing.
 type txn struct {
 	src     int
 	seq     uint64
 	slack   int
 	mask    uint64
-	ot      uint64  // formula ordering time GT_src + Dmax + S (Verify only)
-	cell    *otCell // cross-endpoint ordering-time consensus (Verify only)
 	payload any
 	sent    sim.Time
-	hist    []string
+	dbg     *txnDebug
+}
+
+// linkMeta is the precomputed per-link delivery information consulted on
+// every transaction and token hop: the link latency and the destination,
+// plus the link's position within its destination switch's input list
+// and its source switch's output list (the indexes of the dense per-port
+// state slices).
+type linkMeta struct {
+	lat      sim.Duration
+	toSwitch bool
+	toIndex  int32
+	inPos    int32 // position in To-switch's In list (when toSwitch)
+	outPos   int32 // position in From-switch's Out list (when From is a switch)
 }
 
 // Network is a timestamp-snooping address network over a topology.
@@ -125,6 +164,12 @@ type Network struct {
 	switches  []*swState
 	endpoints []*epState
 	nextSeq   []uint64
+	links     []linkMeta
+
+	// txnPool recycles uninstrumented transaction copies. Instrumented
+	// copies (Verify/Trace) are never pooled: their debug state may
+	// outlive the copy in panic messages.
+	txnPool sim.Pool[txn]
 
 	started bool
 
@@ -152,6 +197,22 @@ func New(k *sim.Kernel, topo *topology.Topology, cfg Config, traffic *stats.Traf
 		run:     run,
 		nextSeq: make([]uint64, topo.Nodes()),
 	}
+	n.links = make([]linkMeta, len(topo.Links()))
+	for i, l := range topo.Links() {
+		n.links[i] = linkMeta{
+			lat:      sim.Duration(l.Cost) * cfg.Params.Dswitch,
+			toSwitch: l.To.Kind == topology.KindSwitch,
+			toIndex:  int32(l.To.Index),
+		}
+	}
+	for _, sw := range topo.Switches() {
+		for pos, id := range sw.In {
+			n.links[id].inPos = int32(pos)
+		}
+		for pos, id := range sw.Out {
+			n.links[id].outPos = int32(pos)
+		}
+	}
 	n.switches = make([]*swState, topo.NumSwitches())
 	for i := range n.switches {
 		n.switches[i] = newSwState(n, i)
@@ -161,6 +222,21 @@ func New(k *sim.Kernel, topo *topology.Topology, cfg Config, traffic *stats.Traf
 		n.endpoints[i] = &epState{net: n, id: i}
 	}
 	return n
+}
+
+// instrumented reports whether transaction copies carry debug state.
+func (n *Network) instrumented() bool { return n.cfg.Verify || n.cfg.Trace }
+
+// newTxn returns a zeroed transaction copy, recycled when possible.
+func (n *Network) newTxn() *txn { return n.txnPool.Get() }
+
+// freeTxn recycles a consumed transaction copy. Instrumented copies are
+// left for the garbage collector: their debug history may be shared.
+func (n *Network) freeTxn(t *txn) {
+	if t.dbg != nil {
+		return
+	}
+	n.txnPool.Put(t)
 }
 
 // Register installs the ordered handler (required) and the optional peek
@@ -183,8 +259,8 @@ func (n *Network) Start() {
 	}
 	n.started = true
 	for _, sw := range n.switches {
-		for _, in := range n.topo.Switches()[sw.id].In {
-			sw.tokens[in] = n.cfg.TokensPerPort
+		for i := range sw.tokens {
+			sw.tokens[i] = n.cfg.TokensPerPort
 		}
 	}
 	for _, e := range n.endpoints {
@@ -262,50 +338,63 @@ func (n *Network) inject(src int, mask uint64, payload any) uint64 {
 	// ticks: Dmax and every dD are scaled accordingly (k=1 reproduces the
 	// paper's presentation exactly).
 	k := n.cfg.TokensPerPort
-	t := &txn{
-		src:     src,
-		seq:     seq,
-		slack:   n.cfg.InitialSlack + tree.InjectDeltaD*k,
-		mask:    mask,
-		payload: payload,
-		sent:    n.k.Now(),
-	}
-	if n.cfg.Verify {
-		// OT = GT_source + Dmax + S, in endpoint tick units. (Standing
-		// tokens on a zero-cost injection link can shift the realized
-		// ordering time by up to k ticks; arrival checks allow exactly
-		// that.)
-		t.ot = n.endpoints[src].gt + uint64(tree.MaxDepth*k) + uint64(n.cfg.InitialSlack)
-		t.cell = &otCell{}
+	t := n.newTxn()
+	t.src = src
+	t.seq = seq
+	t.slack = n.cfg.InitialSlack + tree.InjectDeltaD*k
+	t.mask = mask
+	t.payload = payload
+	t.sent = n.k.Now()
+	if n.instrumented() {
+		t.dbg = &txnDebug{}
+		if n.cfg.Verify {
+			// OT = GT_source + Dmax + S, in endpoint tick units. (Standing
+			// tokens on a zero-cost injection link can shift the realized
+			// ordering time by up to k ticks; arrival checks allow exactly
+			// that.)
+			t.dbg.ot = n.endpoints[src].gt + uint64(tree.MaxDepth*k) + uint64(n.cfg.InitialSlack)
+			t.dbg.cell = &otCell{}
+		}
 	}
 	n.sendOnLink(n.topo.EndpointOut(src), t)
 	return seq
 }
 
+// deliverTxn is the typed kernel event completing a transaction copy's
+// link transit: a0 is the Network, a1 the copy, i0 the LinkID.
+func deliverTxn(a0, a1 any, i0 int64) {
+	n := a0.(*Network)
+	t := a1.(*txn)
+	id := topology.LinkID(i0)
+	m := &n.links[id]
+	if m.toSwitch {
+		n.switches[m.toIndex].arriveTxn(id, t)
+	} else {
+		n.endpoints[m.toIndex].arriveTxn(t)
+	}
+}
+
 // sendOnLink schedules delivery of a transaction copy across a link.
 func (n *Network) sendOnLink(id topology.LinkID, t *txn) {
-	l := n.topo.Link(id)
-	lat := sim.Duration(l.Cost) * n.cfg.Params.Dswitch
-	n.k.After(lat, func() {
-		if l.To.Kind == topology.KindSwitch {
-			n.switches[l.To.Index].arriveTxn(id, t)
-		} else {
-			n.endpoints[l.To.Index].arriveTxn(t)
-		}
-	})
+	n.k.AfterCall(n.links[id].lat, deliverTxn, n, t, int64(id))
+}
+
+// deliverToken is the typed kernel event completing a token's link
+// transit: a0 is the Network, i0 the LinkID.
+func deliverToken(a0, a1 any, i0 int64) {
+	n := a0.(*Network)
+	id := topology.LinkID(i0)
+	m := &n.links[id]
+	if m.toSwitch {
+		n.switches[m.toIndex].arriveToken(int(m.inPos))
+	} else {
+		n.endpoints[m.toIndex].arriveToken()
+	}
 }
 
 // sendToken schedules delivery of one token across a link.
 func (n *Network) sendToken(id topology.LinkID) {
-	l := n.topo.Link(id)
-	lat := sim.Duration(l.Cost) * n.cfg.Params.Dswitch
-	n.k.After(lat, func() {
-		if l.To.Kind == topology.KindSwitch {
-			n.switches[l.To.Index].arriveToken(id)
-		} else {
-			n.endpoints[l.To.Index].arriveToken()
-		}
-	})
+	n.k.AfterCall(n.links[id].lat, deliverToken, n, nil, int64(id))
 }
 
 // epState is an endpoint network interface: a one-input, one-output node
@@ -319,6 +408,12 @@ type epState struct {
 	queue   reorderQueue
 	handler OrderedHandler
 	peek    PeekHandler
+
+	// outbox holds transactions whose ordered processing is complete but
+	// whose handler handoff is still in its Dovh network-exit delay. All
+	// handoffs share that one delay, so deliveries are strictly FIFO
+	// (see sim.FIFO) and a queue replaces a closure per handoff.
+	outbox sim.FIFO[queued]
 }
 
 func (e *epState) arriveToken() {
@@ -343,8 +438,8 @@ func (e *epState) arriveToken() {
 func (e *epState) tick() {
 	e.gt++
 	for {
-		q := e.queue.popDue(e.gt - 1)
-		if q == nil {
+		q, ok := e.queue.popDue(e.gt - 1)
+		if !ok {
 			break
 		}
 		e.process(q)
@@ -364,19 +459,19 @@ func (e *epState) arriveTxn(t *txn) {
 		// Every endpoint must reconstruct the identical ordering time:
 		// this is the property that makes the reorder queues agree on a
 		// single global order.
-		if !t.cell.set {
-			t.cell.set = true
-			t.cell.val = due
-		} else if t.cell.val != due {
+		if !t.dbg.cell.set {
+			t.dbg.cell.set = true
+			t.dbg.cell.val = due
+		} else if t.dbg.cell.val != due {
 			panic(fmt.Sprintf("tsnet: endpoint %d txn %d/%d ordering time %d disagrees with consensus %d (slack %d, gt %d) hist=%v",
-				e.id, t.src, t.seq, due, t.cell.val, t.slack, e.gt, t.hist))
+				e.id, t.src, t.seq, due, t.dbg.cell.val, t.slack, e.gt, t.dbg.hist))
 		}
 		// And it must match the paper's formula, shifted no later than the
 		// standing-token phase of a zero-cost injection link (at most
 		// TokensPerPort ticks) and never earlier.
-		if due < t.ot || due > t.ot+uint64(e.net.cfg.TokensPerPort) {
+		if due < t.dbg.ot || due > t.dbg.ot+uint64(e.net.cfg.TokensPerPort) {
 			panic(fmt.Sprintf("tsnet: endpoint %d txn %d/%d due tick %d outside [OT, OT+%d], OT %d",
-				e.id, t.src, t.seq, due, e.net.cfg.TokensPerPort, t.ot))
+				e.id, t.src, t.seq, due, e.net.cfg.TokensPerPort, t.dbg.ot))
 		}
 	}
 	if e.peek != nil {
@@ -384,28 +479,39 @@ func (e *epState) arriveTxn(t *txn) {
 			if e.net.run != nil {
 				e.net.run.EarlyProcessed++
 			}
+			e.net.freeTxn(t)
 			return
 		}
-	}
-	q := &queued{
-		dueTick: due,
-		src:     t.src,
-		seq:     t.seq,
-		payload: t.payload,
-		arrived: e.net.k.Now(),
 	}
 	// Transactions are always enqueued and drained at tick boundaries,
 	// even when already due: processing strictly in (OT, source, sequence)
 	// key order at every endpoint guarantees the orders agree globally,
 	// which immediate on-arrival processing could violate for same-OT
 	// transactions arriving in different physical orders.
-	e.queue.push(q)
+	e.queue.push(queued{
+		dueTick: due,
+		src:     t.src,
+		seq:     t.seq,
+		payload: t.payload,
+		arrived: e.net.k.Now(),
+	})
 	if e.net.run != nil {
 		e.net.run.ReorderOccupancy.Set(e.net.k.Now(), e.queue.len())
 	}
+	e.net.freeTxn(t)
 }
 
-func (e *epState) process(q *queued) {
+// deliverOrdered is the typed kernel event completing a handler handoff
+// after the network-exit overhead: a0 is the epState. Handoffs pop from
+// the endpoint's outbox in FIFO order, which matches event order because
+// every handoff shares the same Dovh delay.
+func deliverOrdered(a0, a1 any, i0 int64) {
+	e := a0.(*epState)
+	q := e.outbox.Pop()
+	e.handler(q.src, q.seq, q.payload, q.arrived)
+}
+
+func (e *epState) process(q queued) {
 	if e.net.run != nil {
 		e.net.run.OrderingDelay.Observe(e.net.k.Now() - q.arrived)
 	}
@@ -419,7 +525,8 @@ func (e *epState) process(q *queued) {
 	// (Dovh). All handoffs share the same delay, so the controller sees
 	// transactions in exactly the logical order.
 	if d := e.net.cfg.Params.Dovh; d > 0 {
-		e.net.k.After(d, func() { e.handler(q.src, q.seq, q.payload, q.arrived) })
+		e.outbox.Push(q)
+		e.net.k.AfterCall(d, deliverOrdered, e, nil, 0)
 		return
 	}
 	e.handler(q.src, q.seq, q.payload, q.arrived)

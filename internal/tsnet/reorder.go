@@ -1,8 +1,6 @@
 package tsnet
 
 import (
-	"container/heap"
-
 	"tsnoop/internal/sim"
 )
 
@@ -22,50 +20,82 @@ type queued struct {
 	arrived sim.Time
 }
 
-// reorderQueue is the augmented priority queue of Section 2.2's
-// destination operation: transactions are processed in (ordering time,
-// source ID, per-source sequence) order, exactly the same at every
-// endpoint, recreating snooping's total order.
-type reorderQueue struct {
-	h reorderHeap
-}
-
-type reorderHeap []*queued
-
-func (h reorderHeap) Len() int { return len(h) }
-func (h reorderHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
+// before orders queue entries by (ordering time, source ID, per-source
+// sequence): "All endpoints must, in the same way, fairly order
+// transactions that have the same OT. This is easily done by breaking
+// ties with a function of source ID numbers." The key is unique per
+// entry, so the pop order is a deterministic total order regardless of
+// heap shape.
+func (a *queued) before(b *queued) bool {
 	if a.dueTick != b.dueTick {
 		return a.dueTick < b.dueTick
 	}
-	// "All endpoints must, in the same way, fairly order transactions that
-	// have the same OT. This is easily done by breaking ties with a
-	// function of source ID numbers."
 	if a.src != b.src {
 		return a.src < b.src
 	}
 	return a.seq < b.seq
 }
-func (h reorderHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *reorderHeap) Push(x any)   { *h = append(*h, x.(*queued)) }
-func (h *reorderHeap) Pop() any {
-	old := *h
-	n := len(old)
-	q := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return q
+
+// reorderQueue is the augmented priority queue of Section 2.2's
+// destination operation, recreating snooping's total order at every
+// endpoint. It is a hand-rolled 4-ary min-heap of inline queued values:
+// no container/heap interface boxing, no per-entry allocation, and one
+// backing array reused for the life of the endpoint (vacated slots are
+// zeroed so dead payloads are not retained).
+type reorderQueue struct {
+	h []queued
 }
 
-func (q *reorderQueue) push(e *queued) { heap.Push(&q.h, e) }
+func (q *reorderQueue) push(e queued) {
+	h := append(q.h, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !h[i].before(&h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	q.h = h
+}
 
 // popDue removes and returns the highest-priority transaction whose due
-// tick is <= gt, or nil when none is due.
-func (q *reorderQueue) popDue(gt uint64) *queued {
-	if len(q.h) == 0 || q.h[0].dueTick > gt {
-		return nil
+// tick is <= gt; ok is false when none is due.
+func (q *reorderQueue) popDue(gt uint64) (e queued, ok bool) {
+	h := q.h
+	if len(h) == 0 || h[0].dueTick > gt {
+		return queued{}, false
 	}
-	return heap.Pop(&q.h).(*queued)
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = queued{}
+	h = h[:n]
+	q.h = h
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		min := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h[j].before(&h[min]) {
+				min = j
+			}
+		}
+		if !h[min].before(&h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top, true
 }
 
 func (q *reorderQueue) len() int { return len(q.h) }

@@ -9,50 +9,82 @@ import (
 
 // bufEntry is one broadcast-branch copy of a transaction held in a
 // switch's (logically centralized) transaction buffer, waiting for its
-// output port.
+// output port. Entries are stored inline in the buffer slice — the
+// transaction's fields are copied in so the arriving copy can return to
+// the free list immediately.
 type bufEntry struct {
-	t      *txn
-	branch topology.Branch
-	slack  int
+	branch  topology.Branch
+	slack   int
+	src     int
+	seq     uint64
+	mask    uint64
+	payload any
+	sent    sim.Time
+	dbg     *txnDebug
 }
 
 // swState is a network switch: token counters per input port, a
 // transaction buffer, and the token-passing logic that maintains logical
 // time. The switch is standard except for that logic, which runs in
 // parallel with normal message routing (Section 2.2).
+//
+// All per-port state is held in dense slices indexed by the port's
+// position in the switch's In/Out link lists (positions come from the
+// Network's precomputed link metadata), so the hot path performs no map
+// operations and the buffer reuses one backing array for the life of the
+// run.
 type swState struct {
 	net *Network
 	id  int
 
-	tokens map[topology.LinkID]int // token counter per input port
+	in  []topology.LinkID // the switch's input links (shared with topology)
+	out []topology.LinkID // the switch's output links (shared with topology)
+
+	tokens []int // token counter per input port, indexed by In position
+
+	// routes[src] is the branch list a transaction from src takes at this
+	// switch (nil when the switch is not on src's broadcast tree),
+	// flattened from the topology's per-tree route maps at construction.
+	routes [][]topology.Branch
 
 	// buffered holds branch copies waiting for an output port (only
 	// non-empty in contention mode; uncontended switches are cut-through).
-	buffered []*bufEntry
+	buffered []bufEntry
 
-	// Per-output-port serialization state (contention mode).
-	nextFree map[topology.LinkID]sim.Time
-	pending  map[topology.LinkID]bool
+	// Per-output-port serialization state (contention mode), indexed by
+	// Out position.
+	nextFree []sim.Time
+	pending  []bool
 
 	// props counts token propagations: the switch's implicit GT.
 	props uint64
 }
 
 func newSwState(n *Network, id int) *swState {
-	return &swState{
+	spec := n.topo.Switches()[id]
+	s := &swState{
 		net:      n,
 		id:       id,
-		tokens:   make(map[topology.LinkID]int),
-		nextFree: make(map[topology.LinkID]sim.Time),
-		pending:  make(map[topology.LinkID]bool),
+		in:       spec.In,
+		out:      spec.Out,
+		tokens:   make([]int, len(spec.In)),
+		nextFree: make([]sim.Time, len(spec.Out)),
+		pending:  make([]bool, len(spec.Out)),
+		routes:   make([][]topology.Branch, n.topo.Nodes()),
 	}
+	for src := 0; src < n.topo.Nodes(); src++ {
+		s.routes[src] = n.topo.BroadcastTree(src).Route[id]
+	}
+	return s
 }
 
 // GT returns the switch's guarantee time (tokens propagated).
 func (s *swState) GT() uint64 { return s.props }
 
-func (s *swState) arriveToken(in topology.LinkID) {
-	s.tokens[in]++
+// arriveToken handles a token arriving on the input port at position
+// inPos of the switch's In list.
+func (s *swState) arriveToken(inPos int) {
+	s.tokens[inPos]++
 	s.tryPropagate()
 }
 
@@ -61,46 +93,58 @@ func (s *swState) arriveTxn(in topology.LinkID, t *txn) {
 	// Case 1 of the slack recurrence: entering the switch, the
 	// transaction moves past the tokens waiting on its input port, making
 	// it earlier in logical time; slack increases to hold OT invariant.
+	tokens := s.tokens[s.net.links[in].inPos]
 	if s.net.cfg.Trace {
-		t.hist = append(t.hist, fmt.Sprintf("sw%d entry in=%d +%d -> %d @%v", s.id, in, s.tokens[in], t.slack+s.tokens[in], s.net.k.Now()))
+		t.dbg.hist = append(t.dbg.hist, fmt.Sprintf("sw%d entry in=%d +%d -> %d @%v", s.id, in, tokens, t.slack+tokens, s.net.k.Now()))
 	}
-	t.slack += s.tokens[in]
+	t.slack += tokens
 
-	branches, ok := s.net.topo.BroadcastTree(t.src).Route[s.id]
-	if !ok {
+	branches := s.routes[t.src]
+	if branches == nil {
 		panic(fmt.Sprintf("tsnet: switch %d has no route for source %d", s.id, t.src))
 	}
-	for _, b := range branches {
+	for i := range branches {
+		b := &branches[i]
 		if b.Reach&t.mask == 0 {
 			continue // multicast pruning: nothing downstream is a destination
 		}
-		e := &bufEntry{t: t, branch: b, slack: t.slack}
+		e := bufEntry{
+			branch:  *b,
+			slack:   t.slack,
+			src:     t.src,
+			seq:     t.seq,
+			mask:    t.mask,
+			payload: t.payload,
+			sent:    t.sent,
+			dbg:     t.dbg,
+		}
 		if s.net.cfg.Contention {
 			s.buffered = append(s.buffered, e)
 			s.kickPort(b.Link)
 		} else {
 			// Cut-through: zero dwell time in the buffer.
-			s.depart(e)
+			s.depart(&e)
 		}
 	}
+	s.net.freeTxn(t)
 }
 
 // depart sends a branch copy on its output link, applying case 3 of the
 // recurrence: dD, the decrease in maximum remaining pipeline depth for
 // this branch relative to the longest branch.
 func (s *swState) depart(e *bufEntry) {
-	out := &txn{
-		src:     e.t.src,
-		seq:     e.t.seq,
-		slack:   e.slack + e.branch.DeltaD*s.net.cfg.TokensPerPort,
-		mask:    e.t.mask,
-		ot:      e.t.ot,
-		cell:    e.t.cell,
-		payload: e.t.payload,
-		sent:    e.t.sent,
-	}
-	if s.net.cfg.Trace {
-		out.hist = append(append([]string{}, e.t.hist...), fmt.Sprintf("sw%d depart link=%d slack=%d dD=%d -> %d @%v", s.id, e.branch.Link, e.slack, e.branch.DeltaD, out.slack, s.net.k.Now()))
+	out := s.net.newTxn()
+	out.src = e.src
+	out.seq = e.seq
+	out.slack = e.slack + e.branch.DeltaD*s.net.cfg.TokensPerPort
+	out.mask = e.mask
+	out.payload = e.payload
+	out.sent = e.sent
+	if e.dbg != nil {
+		out.dbg = &txnDebug{ot: e.dbg.ot, cell: e.dbg.cell}
+		if s.net.cfg.Trace {
+			out.dbg.hist = append(append([]string{}, e.dbg.hist...), fmt.Sprintf("sw%d depart link=%d slack=%d dD=%d -> %d @%v", s.id, e.branch.Link, e.slack, e.branch.DeltaD, out.slack, s.net.k.Now()))
+		}
 	}
 	if out.slack < 0 {
 		panic(fmt.Sprintf("tsnet: switch %d departing with negative slack %d", s.id, out.slack))
@@ -108,19 +152,26 @@ func (s *swState) depart(e *bufEntry) {
 	s.net.sendOnLink(e.branch.Link, out)
 }
 
+// servePortEvent is the typed kernel event backing kickPort: a0 is the
+// swState, i0 the output LinkID.
+func servePortEvent(a0, a1 any, i0 int64) {
+	a0.(*swState).servePort(topology.LinkID(i0))
+}
+
 // kickPort schedules a service attempt for an output port (contention
 // mode). At most one attempt is pending per port.
 func (s *swState) kickPort(link topology.LinkID) {
-	if s.pending[link] {
+	pos := s.net.links[link].outPos
+	if s.pending[pos] {
 		return
 	}
-	s.pending[link] = true
+	s.pending[pos] = true
 	now := s.net.k.Now()
-	at := s.nextFree[link]
+	at := s.nextFree[pos]
 	if at < now {
 		at = now
 	}
-	s.net.k.At(at, func() { s.servePort(link) })
+	s.net.k.AtCall(at, servePortEvent, s, nil, int64(link))
 }
 
 // servePort dequeues the highest-priority waiting copy for link and sends
@@ -128,13 +179,14 @@ func (s *swState) kickPort(link topology.LinkID) {
 // to speed token passing" — implemented as lowest-slack-first, stable by
 // arrival.
 func (s *swState) servePort(link topology.LinkID) {
-	s.pending[link] = false
+	pos := s.net.links[link].outPos
+	s.pending[pos] = false
 	best := -1
-	for i, e := range s.buffered {
-		if e.branch.Link != link {
+	for i := range s.buffered {
+		if s.buffered[i].branch.Link != link {
 			continue
 		}
-		if best < 0 || e.slack < s.buffered[best].slack {
+		if best < 0 || s.buffered[i].slack < s.buffered[best].slack {
 			best = i
 		}
 	}
@@ -142,14 +194,19 @@ func (s *swState) servePort(link topology.LinkID) {
 		return
 	}
 	e := s.buffered[best]
-	s.buffered = append(s.buffered[:best], s.buffered[best+1:]...)
-	s.nextFree[link] = s.net.k.Now() + s.net.cfg.SerTime
-	s.depart(e)
+	// Splice the entry out in place: the backing array is reused, and the
+	// vacated tail slot is zeroed so it does not retain payload references.
+	n := len(s.buffered) - 1
+	copy(s.buffered[best:], s.buffered[best+1:])
+	s.buffered[n] = bufEntry{}
+	s.buffered = s.buffered[:n]
+	s.nextFree[pos] = s.net.k.Now() + s.net.cfg.SerTime
+	s.depart(&e)
 	// The buffer shrank: a stalled propagation may now be possible.
 	s.tryPropagate()
 	// More work for this port?
-	for _, rest := range s.buffered {
-		if rest.branch.Link == link {
+	for i := range s.buffered {
+		if s.buffered[i].branch.Link == link {
 			s.kickPort(link)
 			break
 		}
@@ -164,18 +221,17 @@ func (s *swState) servePort(link topology.LinkID) {
 // them, making them later in logical time), and decrements every input's
 // token counter.
 func (s *swState) tryPropagate() {
-	spec := s.net.topo.Switches()[s.id]
 	for {
 		ok := true
-		for _, in := range spec.In {
-			if s.tokens[in] == 0 {
+		for _, c := range s.tokens {
+			if c == 0 {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			for _, e := range s.buffered {
-				if e.slack == 0 {
+			for i := range s.buffered {
+				if s.buffered[i].slack == 0 {
 					// The S >= 0 invariant prohibits tokens from moving
 					// past zero-slack transactions: stall GT until the
 					// transaction departs.
@@ -187,14 +243,14 @@ func (s *swState) tryPropagate() {
 		if !ok {
 			return
 		}
-		for _, in := range spec.In {
-			s.tokens[in]--
+		for i := range s.tokens {
+			s.tokens[i]--
 		}
-		for _, e := range s.buffered {
-			e.slack--
+		for i := range s.buffered {
+			s.buffered[i].slack--
 		}
 		s.props++
-		for _, out := range spec.Out {
+		for _, out := range s.out {
 			s.net.sendToken(out)
 		}
 	}

@@ -31,9 +31,9 @@ func TestDebugTokens2(t *testing.T) {
 	for sw := 0; sw < 16; sw++ {
 		s := net.switches[sw]
 		fmt.Printf("sw%d props=%d tokens=", sw, s.props)
-		for _, in := range topo.Switches()[sw].In {
+		for pos, in := range topo.Switches()[sw].In {
 			l := topo.Link(in)
-			fmt.Printf("%v:%d ", l.From, s.tokens[in])
+			fmt.Printf("%v:%d ", l.From, s.tokens[pos])
 		}
 		fmt.Println()
 	}
