@@ -47,6 +47,18 @@
 // bench-regression CI job guards them via scripts/benchguard; see the
 // README's Performance section.
 //
+// Those invariants — the zero-alloc hot path, pool hygiene,
+// byte-identical determinism, and the stability of the canonical spec
+// hash — are enforced statically, not just by tests: internal/analysis
+// hosts four purpose-built analyzers (allocfree, pooldiscipline,
+// determinism, canonicalspec) on a self-contained, stdlib-only mirror
+// of the golang.org/x/tools/go/analysis API, and the cmd/tsvet
+// multichecker runs them together with go vet as a required CI job.
+// Deliberate exceptions are declared in the code: //pool:owned marks an
+// ownership hand-off, //determinism:unordered marks an
+// order-insensitive map loop. See the README's "Static analysis"
+// section.
+//
 // The command-line surface is the single cmd/tsnoop tool, whose
 // subcommands (run, grid, sweep, tables, check, trace, serve, submit,
 // version) all parse the same Spec flag set. The public entry point for

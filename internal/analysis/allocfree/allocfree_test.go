@@ -1,0 +1,19 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"tsnoop/internal/analysis/allocfree"
+	"tsnoop/internal/analysis/analysistest"
+)
+
+// TestAllocFree checks the positive diagnostics in the hot-path fixture
+// package and, via the service fixture (which schedules closures and
+// allocates maps without a single want comment), that the analyzer is
+// scoped to the hot-path packages.
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, "testdata", allocfree.Analyzer,
+		"tsnoop/internal/tsnet",
+		"tsnoop/internal/service",
+	)
+}

@@ -1,0 +1,12 @@
+// Fixture proving the allocfree analyzer is scoped to the hot-path
+// packages: the service package schedules closures and allocates maps
+// freely without diagnostics.
+package service
+
+import "tsnoop/internal/sim"
+
+func serve(k *sim.Kernel) {
+	m := make(map[int]int)
+	k.At(0, func() { m[1] = 2 })
+	k.AfterCall(1, func(a0, a1 any, i0 int64) {}, struct{}{}, nil, 0)
+}

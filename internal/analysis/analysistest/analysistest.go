@@ -1,0 +1,110 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages and checks its diagnostics against // want comments, the
+// same fixture convention as golang.org/x/tools/go/analysis/analysistest:
+//
+//	testdata/src/<importpath>/<files>.go
+//
+// A line expecting diagnostics carries a comment of the form
+//
+//	code() // want "regexp" "second regexp"
+//
+// Every diagnostic reported on that line must match one expectation
+// (and vice versa); a line with no want comment must produce no
+// diagnostics. Fixture imports resolve inside testdata/src first —
+// which is how fixtures stub the real tsnoop/internal/... packages the
+// analyzers key on — and fall back to the standard library.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"tsnoop/internal/analysis"
+)
+
+// wantRe extracts the expectation list from a comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRe extracts the individual quoted regexps of an expectation
+// list; both "double-quoted" and `backquoted` patterns are accepted.
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")
+
+// Run applies the analyzer to each fixture package (named by import
+// path under testdata/src) and reports mismatches against the
+// packages' // want comments through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	loader := &analysis.Loader{FixtureDir: filepath.Join(testdata, "src")}
+	for _, path := range pkgpaths {
+		pkg, err := loader.LoadFixture(path)
+		if err != nil {
+			t.Errorf("loading fixture package %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.RunAnalyzer(a, pkg)
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		check(t, pkg, diags)
+	}
+}
+
+// expectation is one "regexp" on one line of a fixture file.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want expectation %s: %v", pos, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %s: %v", pos, q, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}

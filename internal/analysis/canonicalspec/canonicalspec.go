@@ -1,0 +1,193 @@
+// Package canonicalspec statically enforces the spec.Spec JSON field
+// contract that spec.Canonical's stability — and therefore every
+// on-disk result-store key — rests on:
+//
+//   - Every Spec field is exported and carries an explicit json tag
+//     (an untagged or unexported field would silently change or escape
+//     the canonical rendering).
+//   - Tag names are stable snake_case and unique: the canonical JSON is
+//     a wire format whose bytes are hashed, so a renamed or colliding
+//     key silently invalidates every existing store.
+//   - omitempty/omitzero is allowed only on fields Normalize
+//     unconditionally clears to the zero value. That is the Verify
+//     pattern: the key then never appears in canonical JSON, so
+//     introducing the knob leaves all pre-existing hashes byte-stable.
+//     An omitempty field Normalize does not clear would make the key's
+//     presence depend on the knob's value — new knobs must follow the
+//     Verify pattern, not that one.
+//
+// The runtime counterparts are the spec fuzz round-trip tests and
+// TestCanonicalStableAcrossVerifyKnob; this analyzer catches the
+// contract break when the field is added, not when the store goes cold.
+package canonicalspec
+
+import (
+	"go/ast"
+	"go/token"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"tsnoop/internal/analysis"
+)
+
+// Analyzer is the canonicalspec pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "canonicalspec",
+	Doc:  "require stable snake_case json tags on spec.Spec fields, with omitempty only on fields Normalize unconditionally clears",
+	Run:  run,
+}
+
+// specPath is the only package the contract lives in.
+const specPath = "tsnoop/internal/spec"
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != specPath {
+		return nil
+	}
+	spec := findStruct(pass, "Spec")
+	if spec == nil {
+		return nil
+	}
+	cleared := normalizeCleared(pass)
+
+	seen := make(map[string]token.Pos)
+	for _, field := range spec.Fields.List {
+		names := field.Names
+		if len(names) == 0 {
+			pass.Reportf(field.Pos(), "embedded field in spec.Spec: every canonical-JSON key must be an explicit, tagged field")
+			continue
+		}
+		for _, name := range names {
+			if !name.IsExported() {
+				pass.Reportf(name.Pos(), "unexported field %s in spec.Spec escapes the canonical JSON; every knob must serialize", name.Name)
+				continue
+			}
+			if field.Tag == nil {
+				pass.Reportf(name.Pos(), "field %s has no json tag; canonical-JSON keys must be explicit and stable", name.Name)
+				continue
+			}
+			raw, err := strconv.Unquote(field.Tag.Value)
+			if err != nil {
+				continue
+			}
+			tag, ok := reflect.StructTag(raw).Lookup("json")
+			if !ok {
+				pass.Reportf(field.Tag.Pos(), "field %s has no json tag; canonical-JSON keys must be explicit and stable", name.Name)
+				continue
+			}
+			parts := strings.Split(tag, ",")
+			jsonName := parts[0]
+			if jsonName == "-" || jsonName == "" {
+				pass.Reportf(field.Tag.Pos(), "field %s is excluded from JSON (tag %q); every knob must participate in the canonical rendering", name.Name, tag)
+				continue
+			}
+			if !snakeCase.MatchString(jsonName) {
+				pass.Reportf(field.Tag.Pos(), "json key %q of field %s is not snake_case; canonical keys are hashed bytes and must follow one stable convention", jsonName, name.Name)
+			}
+			if prev, dup := seen[jsonName]; dup {
+				pass.Reportf(field.Tag.Pos(), "json key %q of field %s collides with the field at %s", jsonName, name.Name, pass.Fset.Position(prev))
+			}
+			seen[jsonName] = field.Tag.Pos()
+			for _, opt := range parts[1:] {
+				if opt == "omitempty" || opt == "omitzero" {
+					if !cleared[name.Name] {
+						pass.Reportf(field.Tag.Pos(),
+							"field %s has %s but Normalize does not unconditionally clear it: the key's presence in canonical JSON would depend on the knob's value; follow the Verify pattern (clear in Normalize) or drop %s", name.Name, opt, opt)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// findStruct returns the struct type declared under the given name.
+func findStruct(pass *analysis.Pass, name string) *ast.StructType {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, s := range gd.Specs {
+				ts, ok := s.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// normalizeCleared returns the Spec fields that the Normalize method
+// assigns a zero value at the top level of its body (not under any
+// condition): exactly the fields whose canonical rendering is
+// guaranteed independent of the incoming value.
+func normalizeCleared(pass *analysis.Pass) map[string]bool {
+	cleared := make(map[string]bool)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Normalize" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recv := receiverName(fd)
+			for _, stmt := range fd.Body.List {
+				as, ok := stmt.(*ast.AssignStmt)
+				if !ok || as.Tok != token.ASSIGN {
+					continue
+				}
+				for i, lhs := range as.Lhs {
+					if i >= len(as.Rhs) {
+						break
+					}
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					base, ok := sel.X.(*ast.Ident)
+					if !ok || base.Name != recv {
+						continue
+					}
+					if isZeroLiteral(as.Rhs[i]) {
+						cleared[sel.Sel.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return cleared
+}
+
+func receiverName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		return fd.Recv.List[0].Names[0].Name
+	}
+	return ""
+}
+
+// isZeroLiteral recognizes the zero values a clearing assignment uses:
+// false, 0, 0.0, "", nil.
+func isZeroLiteral(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == "false" || e.Name == "nil"
+	case *ast.BasicLit:
+		switch e.Kind {
+		case token.INT, token.FLOAT:
+			v, err := strconv.ParseFloat(e.Value, 64)
+			return err == nil && v == 0
+		case token.STRING:
+			return e.Value == `""` || e.Value == "``"
+		}
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+package canonicalspec_test
+
+import (
+	"testing"
+
+	"tsnoop/internal/analysis/analysistest"
+	"tsnoop/internal/analysis/canonicalspec"
+)
+
+// TestCanonicalSpec covers the spec fixture (every tag rule, plus the
+// Verify pattern staying silent) and an out-of-scope package whose
+// rule-breaking Spec struct must produce nothing.
+func TestCanonicalSpec(t *testing.T) {
+	analysistest.Run(t, "testdata", canonicalspec.Analyzer,
+		"tsnoop/internal/spec",
+		"tsnoop/internal/other",
+	)
+}

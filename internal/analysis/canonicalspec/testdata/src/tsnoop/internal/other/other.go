@@ -1,0 +1,11 @@
+// Fixture proving the canonicalspec analyzer only runs on the spec
+// package: this Spec struct breaks every rule and produces nothing.
+package other
+
+type Spec struct {
+	Untagged int
+	BadCase  string `json:"BadCase,omitempty"`
+	hidden   int
+}
+
+func use(s *Spec) int { return s.hidden }

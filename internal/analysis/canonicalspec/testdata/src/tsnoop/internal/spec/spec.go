@@ -1,0 +1,42 @@
+// Fixture for the canonicalspec analyzer: one Spec struct exercising
+// every rule — embedded and unexported fields, missing/excluded tags,
+// non-snake_case and colliding keys, and omitempty with and without the
+// matching unconditional clear in Normalize.
+package spec
+
+type Base struct{}
+
+type Spec struct {
+	Base // want `embedded field in spec.Spec`
+
+	Name     string `json:"name"`
+	NumProcs int    `json:"num_procs"`
+
+	Topology string `json:"Topology"` // want `json key "Topology" of field Topology is not snake_case`
+	Untagged int    // want `field Untagged has no json tag`
+	Hidden   string `json:"-"`    // want `field Hidden is excluded from JSON`
+	Legacy   int    `json:"name"` // want `json key "name" of field Legacy collides with the field`
+
+	// Seed has omitempty but Normalize never clears it: whether the key
+	// appears in canonical JSON would depend on the seed's value.
+	Seed int64 `json:"seed,omitempty"` // want `field Seed has omitempty but Normalize does not unconditionally clear it`
+
+	// Cond is only cleared under a condition, which does not count.
+	Cond bool `json:"cond,omitempty"` // want `field Cond has omitempty but Normalize does not unconditionally clear it`
+
+	// The Verify pattern: omitempty/omitzero paired with an
+	// unconditional top-level clear in Normalize.
+	Verify  bool `json:"verify,omitempty"`
+	Workers int  `json:"workers,omitzero"`
+
+	hidden int // want `unexported field hidden in spec.Spec escapes the canonical JSON`
+}
+
+func (s *Spec) Normalize() {
+	s.Verify = false
+	s.Workers = 0
+	if s.Cond {
+		s.Cond = false
+	}
+	_ = s.hidden
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RunAnalyzer applies one analyzer to one package and returns its
+// diagnostics sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		Report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
+	}
+	sortDiags(pkg, diags)
+	return diags, nil
+}
+
+// Run loads the packages matching the patterns and applies every
+// analyzer to every package, returning all diagnostics in (package,
+// position) order.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, *Loader, error) {
+	l := &Loader{Dir: dir}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := RunAnalyzer(a, pkg)
+			if err != nil {
+				return nil, nil, err
+			}
+			all = append(all, diags...)
+		}
+	}
+	return all, l, nil
+}
+
+// Print writes diagnostics in the standard file:line:col form using the
+// loader's file set.
+func Print(w io.Writer, l *Loader, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s (%s)\n", l.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}
+
+func sortDiags(pkg *Package, diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+}

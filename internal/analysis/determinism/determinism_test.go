@@ -1,0 +1,20 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"tsnoop/internal/analysis/analysistest"
+	"tsnoop/internal/analysis/determinism"
+)
+
+// TestDeterminism covers a deterministic-core fixture (wall clock,
+// global math/rand, goroutines, map ranges, and the sanctioned forms of
+// each), the parallel-package goroutine exemption, and a service
+// fixture proving packages outside the core are not analyzed.
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer,
+		"tsnoop/internal/tsnet",
+		"tsnoop/internal/parallel",
+		"tsnoop/internal/service",
+	)
+}

@@ -1,0 +1,10 @@
+// Fixture proving the parallel-package exemption: this is the one
+// package allowed to create goroutines, so the go statement below must
+// produce no diagnostic.
+package parallel
+
+func fanOut(work []func()) {
+	for _, w := range work {
+		go w()
+	}
+}

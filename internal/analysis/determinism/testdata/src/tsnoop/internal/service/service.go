@@ -1,0 +1,16 @@
+// Fixture proving the analyzer is scoped to the deterministic core:
+// the service layer deals in wall-clock time and concurrency by design,
+// so nothing here is flagged.
+package service
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now()
+}
+
+func watch(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}

@@ -1,0 +1,62 @@
+// Fixture for the determinism analyzer: this package path is inside
+// the deterministic core, so wall-clock reads, global math/rand,
+// stray goroutines and unordered map iteration are all flagged —
+// while the sanctioned forms (seeded local generators, the
+// collect-then-sort idiom and the //determinism:unordered marker)
+// stay silent.
+package tsnet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() time.Duration {
+	start := time.Now()      // want `time.Now reads the wall clock`
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+func dice() int {
+	return rand.Intn(6) // want `global math/rand.Intn shares seed state`
+}
+
+// An explicitly seeded local generator is the sanctioned escape hatch:
+// the constructors and the methods on the result are both allowed.
+func seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(6)
+}
+
+func spawn() {
+	go dice() // want `goroutine created outside tsnoop/internal/parallel`
+}
+
+// collect-then-sort: the range feeds a slice that is sorted before it
+// can reach any output, so the map's iteration order is laundered out.
+func ordered(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func raw(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `map iteration order is randomized`
+		sum += v
+	}
+	return sum
+}
+
+// The marker asserts the body is order-insensitive (summation commutes).
+func unordered(m map[string]int) int {
+	sum := 0
+	//determinism:unordered summation is commutative
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Fset  *token.FileSet
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Loader loads and type-checks packages from source. Metadata (file
+// sets, import graph, build-tag and vendor resolution) comes from
+// `go list -json -deps`; type checking walks the import graph bottom-up
+// with go/types, so no compiled export data is required — the loader
+// works on a bare toolchain with an empty build cache.
+//
+// When FixtureDir is set (the analysistest harness), an import path
+// resolves to FixtureDir/<path> first and falls back to `go list` (for
+// standard-library imports of fixture files) second.
+type Loader struct {
+	// Dir is where the go command runs; it must be inside the module.
+	// Empty means the current directory.
+	Dir string
+	// FixtureDir, when non-empty, is a GOPATH-style src root consulted
+	// before the real module: import path p loads from FixtureDir/p.
+	FixtureDir string
+
+	Fset *token.FileSet
+
+	meta map[string]*listPkg
+	pkgs map[string]*Package
+}
+
+func (l *Loader) init() {
+	if l.Fset == nil {
+		l.Fset = token.NewFileSet()
+	}
+	if l.meta == nil {
+		l.meta = make(map[string]*listPkg)
+	}
+	if l.pkgs == nil {
+		l.pkgs = make(map[string]*Package)
+	}
+}
+
+// goList runs `go list -e -json -deps` on the given patterns and merges
+// the results into the metadata table. CGO is disabled so every package
+// resolves to its pure-Go variant (the type checker cannot follow cgo).
+func (l *Loader) goList(patterns ...string) error {
+	args := append([]string{
+		"list", "-e", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if prev, ok := l.meta[p.ImportPath]; !ok || prev.DepOnly && !p.DepOnly {
+			l.meta[p.ImportPath] = p
+		}
+	}
+	return nil
+}
+
+// Load loads the packages matching the go-command patterns (e.g.
+// "./...") and their whole dependency closure, returning the matched
+// root packages sorted by import path with full syntax and type
+// information.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.init()
+	if err := l.goList(patterns...); err != nil {
+		return nil, err
+	}
+	var roots []string
+	for path, m := range l.meta {
+		if !m.DepOnly && !m.Standard {
+			if m.Error != nil {
+				return nil, fmt.Errorf("analysis: loading %s: %s", path, m.Error.Err)
+			}
+			roots = append(roots, path)
+		}
+	}
+	sort.Strings(roots)
+	pkgs := make([]*Package, 0, len(roots))
+	for _, path := range roots {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadFixture loads one package by import path, resolving through
+// FixtureDir first. Used by the analysistest harness.
+func (l *Loader) LoadFixture(path string) (*Package, error) {
+	l.init()
+	return l.load(path)
+}
+
+// load type-checks one package (and, recursively, its imports),
+// caching the result.
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if path == "unsafe" {
+		p := &Package{Path: path, Types: types.Unsafe, Fset: l.Fset}
+		l.pkgs[path] = p
+		return p, nil
+	}
+	dir, files, err := l.sources(path)
+	if err != nil {
+		return nil, err
+	}
+	syntax := make([]*ast.File, 0, len(files))
+	imports := make(map[string]bool)
+	for _, name := range files {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", name, err)
+		}
+		syntax = append(syntax, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+	}
+	// Ensure metadata exists for every import reachable outside the
+	// fixture tree before type checking pulls them in.
+	var missing []string
+	for imp := range imports {
+		if imp == "C" || imp == "unsafe" {
+			continue
+		}
+		if l.fixtureHas(imp) {
+			continue
+		}
+		if _, ok := l.meta[imp]; !ok {
+			if _, ok := l.meta["vendor/"+imp]; !ok {
+				missing = append(missing, imp)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		if err := l.goList(missing...); err != nil {
+			return nil, err
+		}
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			dep, err := l.load(l.mapImport(path, p))
+			if err != nil {
+				return nil, err
+			}
+			return dep.Types, nil
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(path, l.Fset, syntax, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, firstErr)
+	}
+	p := &Package{Path: path, Dir: dir, Files: syntax, Types: tpkg, Info: info, Fset: l.Fset}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// mapImport applies the importing package's vendor map (ImportMap from
+// go list) plus the global vendor/ fallback of GOROOT/src/vendor.
+func (l *Loader) mapImport(from, path string) string {
+	if m, ok := l.meta[from]; ok && m.ImportMap != nil {
+		if mapped, ok := m.ImportMap[path]; ok {
+			return mapped
+		}
+	}
+	if _, ok := l.meta[path]; !ok {
+		if _, ok := l.meta["vendor/"+path]; ok {
+			return "vendor/" + path
+		}
+	}
+	return path
+}
+
+// sources returns the directory and Go files of an import path, from
+// the fixture tree when present, from go list metadata otherwise.
+func (l *Loader) sources(path string) (string, []string, error) {
+	if dir, ok := l.fixtureDirFor(path); ok {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return "", nil, fmt.Errorf("analysis: reading fixture %s: %v", dir, err)
+		}
+		var files []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				files = append(files, filepath.Join(dir, e.Name()))
+			}
+		}
+		if len(files) == 0 {
+			return "", nil, fmt.Errorf("analysis: fixture package %s has no Go files", path)
+		}
+		sort.Strings(files)
+		return dir, files, nil
+	}
+	m, ok := l.meta[path]
+	if !ok {
+		if err := l.goList(path); err != nil {
+			return "", nil, err
+		}
+		if m, ok = l.meta[path]; !ok {
+			return "", nil, fmt.Errorf("analysis: no metadata for package %s", path)
+		}
+	}
+	if m.Error != nil {
+		return "", nil, fmt.Errorf("analysis: loading %s: %s", path, m.Error.Err)
+	}
+	files := make([]string, len(m.GoFiles))
+	for i, f := range m.GoFiles {
+		files[i] = filepath.Join(m.Dir, f)
+	}
+	return m.Dir, files, nil
+}
+
+func (l *Loader) fixtureHas(path string) bool {
+	_, ok := l.fixtureDirFor(path)
+	return ok
+}
+
+func (l *Loader) fixtureDirFor(path string) (string, bool) {
+	if l.FixtureDir == "" {
+		return "", false
+	}
+	dir := filepath.Join(l.FixtureDir, filepath.FromSlash(path))
+	st, err := os.Stat(dir)
+	if err != nil || !st.IsDir() {
+		return "", false
+	}
+	return dir, true
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,17 @@
+package analysis
+
+import "testing"
+
+func TestLoadSmoke(t *testing.T) {
+	l := &Loader{Dir: "/root/repo"}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("loaded %d root packages", len(pkgs))
+	for _, p := range pkgs {
+		if p.Types == nil || len(p.Files) == 0 {
+			t.Errorf("package %s incomplete", p.Path)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package pooldiscipline statically enforces the sim.Pool free-list
+// contract that keeps the simulator's steady state allocation-free:
+//
+//   - Every pooled element type that a package Gets must also be Put
+//     somewhere in the same package. A Get with no matching Put is a
+//     leak: the free list never refills and every "recycled" object is
+//     a fresh allocation. Deliberate ownership hand-offs (another
+//     package releases the object, or a refcount defers the release)
+//     are documented with a //pool:owned marker on the Get.
+//   - A pooled pointer must not be stored into a long-lived structure —
+//     a struct field, slice/array/map element, or an append — without a
+//     //pool:owned marker: once a recycled pointer escapes into
+//     retained state, a later Put zeroes memory someone still holds,
+//     the classic use-after-free of free-list code. (Hot paths instead
+//     copy fields out and release the pointer immediately; see
+//     tsnet.bufEntry.)
+//
+// The marker goes on the flagged line or the line directly above it.
+package pooldiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tsnoop/internal/analysis"
+)
+
+// Analyzer is the pooldiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "pooldiscipline",
+	Doc:  "require sim.Pool Get/Put balance per package and //pool:owned markers on pooled pointers stored into long-lived structures",
+	Run:  run,
+}
+
+// Marker is the suppression comment documenting a deliberate ownership
+// hand-off of a pooled object.
+const Marker = "//pool:owned"
+
+const simPath = "tsnoop/internal/sim"
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == simPath {
+		return nil // the Pool implementation itself handles raw free lists
+	}
+
+	type getSite struct {
+		pos  ast.Expr
+		elem types.Type
+	}
+	var gets []getSite
+	puts := make(map[string]bool)   // pooled element type string -> Put seen
+	pooled := make(map[string]bool) // element type strings of every pool touched
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, elem, ok := poolMethod(pass, call)
+			if !ok {
+				return true
+			}
+			pooled[elem.String()] = true
+			switch name {
+			case "Get":
+				gets = append(gets, getSite{pos: call, elem: elem})
+			case "Put":
+				puts[elem.String()] = true
+			}
+			return true
+		})
+	}
+
+	for _, g := range gets {
+		if !puts[g.elem.String()] && !pass.MarkerAt(g.pos.Pos(), Marker) {
+			pass.Reportf(g.pos.Pos(),
+				"sim.Pool[%s].Get with no matching Put in this package leaks the free list; Put the object back or document the hand-off with %s", g.elem, Marker)
+		}
+	}
+
+	if len(pooled) == 0 {
+		return nil
+	}
+
+	// Pointer-escape check: a *T with T pooled stored into retained
+	// structure.
+	isPooledPtr := func(e ast.Expr) (types.Type, bool) {
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return nil, false
+		}
+		p, ok := tv.Type.Underlying().(*types.Pointer)
+		if !ok {
+			return nil, false
+		}
+		if pooled[p.Elem().String()] {
+			return p.Elem(), true
+		}
+		return nil, false
+	}
+	report := func(n ast.Node, elem types.Type, how string) {
+		if pass.MarkerAt(n.Pos(), Marker) {
+			return
+		}
+		pass.Reportf(n.Pos(),
+			"pooled *%s stored into a long-lived structure (%s); a later Put would zero memory this reference still sees — copy the fields out, or mark the hand-off with %s", elem, how, Marker)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break // y, ok := m[k] and friends
+					}
+					elem, ok := isPooledPtr(n.Rhs[i])
+					if !ok {
+						continue
+					}
+					switch lhs.(type) {
+					case *ast.SelectorExpr:
+						report(n, elem, "struct field assignment")
+					case *ast.IndexExpr:
+						report(n, elem, "element assignment")
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+					if obj, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && obj.Name() == "append" {
+						for _, arg := range n.Args[1:] {
+							if elem, ok := isPooledPtr(arg); ok {
+								report(n, elem, "append")
+							}
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					v := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if elem, ok := isPooledPtr(v); ok {
+						report(v, elem, "composite literal")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// poolMethod reports whether call invokes Get or Put on a sim.Pool
+// instance, returning the method name and the pool's instantiated
+// element type.
+func poolMethod(pass *analysis.Pass, call *ast.CallExpr) (string, types.Type, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, false
+	}
+	selec, ok := pass.Info.Selections[sel]
+	if !ok {
+		return "", nil, false
+	}
+	obj, ok := selec.Obj().(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != simPath {
+		return "", nil, false
+	}
+	if obj.Name() != "Get" && obj.Name() != "Put" {
+		return "", nil, false
+	}
+	recv := selec.Recv()
+	if p, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Pool" {
+		return "", nil, false
+	}
+	args := named.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return "", nil, false
+	}
+	return obj.Name(), args.At(0), true
+}

@@ -1,0 +1,20 @@
+package pooldiscipline_test
+
+import (
+	"testing"
+
+	"tsnoop/internal/analysis/analysistest"
+	"tsnoop/internal/analysis/pooldiscipline"
+)
+
+// TestPoolDiscipline covers the three fixture packages: leak (Get with
+// no Put anywhere), handoff (the //pool:owned negative case proving the
+// marker suppresses, on the same line and the line above), and store
+// (balanced Get/Put with pooled pointers escaping into structures).
+func TestPoolDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", pooldiscipline.Analyzer,
+		"tsnoop/internal/leak",
+		"tsnoop/internal/handoff",
+		"tsnoop/internal/store",
+	)
+}

@@ -1,0 +1,21 @@
+// Fixture for the pooldiscipline analyzer's negative case: a package
+// that Gets without Putting, but documents the ownership hand-off with
+// the //pool:owned marker — no diagnostics.
+package handoff
+
+import "tsnoop/internal/sim"
+
+type thing struct{ v int }
+
+type holder struct {
+	pool sim.Pool[thing]
+}
+
+func take(h *holder) *thing {
+	return h.pool.Get() //pool:owned the consumer package releases it
+}
+
+func takeMarkedAbove(h *holder) *thing {
+	//pool:owned refcounted by deliveries; the last receiver Puts
+	return h.pool.Get()
+}

@@ -1,0 +1,15 @@
+// Fixture for the pooldiscipline analyzer: a package that Gets pooled
+// objects but never Puts any back — the free list never refills.
+package leak
+
+import "tsnoop/internal/sim"
+
+type thing struct{ v int }
+
+type holder struct {
+	pool sim.Pool[thing]
+}
+
+func take(h *holder) *thing {
+	return h.pool.Get() // want `sim.Pool\[.*thing\].Get with no matching Put`
+}

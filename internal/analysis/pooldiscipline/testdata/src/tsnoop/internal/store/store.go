@@ -1,0 +1,56 @@
+// Fixture for the pooldiscipline analyzer: Get/Put are balanced here,
+// so the leak check is silent, and the checks exercised are the stores
+// of pooled pointers into long-lived structures.
+package store
+
+import "tsnoop/internal/sim"
+
+type thing struct{ v int }
+
+type box struct{ t *thing }
+
+type holder struct {
+	pool  sim.Pool[thing]
+	stash *thing
+	list  []*thing
+	slots [4]*thing
+}
+
+func cycle(h *holder) {
+	t := h.pool.Get()
+	h.pool.Put(t)
+}
+
+func escapes(h *holder) {
+	t := h.pool.Get()
+	h.stash = t                // want `pooled \*.*thing stored into a long-lived structure \(struct field assignment\)`
+	h.list = append(h.list, t) // want `pooled \*.*thing stored into a long-lived structure \(append\)`
+	h.slots[0] = t             // want `pooled \*.*thing stored into a long-lived structure \(element assignment\)`
+	_ = &box{t: t}             // want `pooled \*.*thing stored into a long-lived structure \(composite literal\)`
+	h.pool.Put(t)
+}
+
+func owned(h *holder) {
+	t := h.pool.Get()
+	h.stash = t //pool:owned released by clear()
+	//pool:owned released by clear()
+	h.list = append(h.list, t)
+}
+
+func clear(h *holder) {
+	if h.stash != nil {
+		h.pool.Put(h.stash)
+		h.stash = nil
+	}
+	for _, t := range h.list {
+		h.pool.Put(t)
+	}
+	h.list = nil
+}
+
+// local assignment of a pooled pointer is not a store into a structure.
+func local(h *holder) {
+	t := h.pool.Get()
+	u := t
+	h.pool.Put(u)
+}

@@ -272,3 +272,35 @@ func TestHTTPBadRequests(t *testing.T) {
 		}
 	}
 }
+
+// TestHTTPJobsListSortedByID pins the GET /v1/jobs contract: the body
+// is the full retained job list, sorted by id ascending.
+func TestHTTPJobsListSortedByID(t *testing.T) {
+	sim := func(ctx context.Context, s spec.Spec) (*stats.Run, error) {
+		return &stats.Run{Runtime: 5}, nil
+	}
+	_, srv := newTestServer(t, "", sim)
+	const n = 4
+	for seed := uint64(1); seed <= n; seed++ {
+		s := spec.New("barnes", spec.WithNodes(4), spec.WithSeed(seed), spec.WithQuota(50))
+		resp := postJSON(t, srv.URL+"/v1/runs", s.JSON())
+		io.Copy(io.Discard, resp.Body)
+	}
+	jr, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	var jobs []JobStatus
+	if err := json.NewDecoder(jr.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != n {
+		t.Fatalf("listed %d jobs, want %d", len(jobs), n)
+	}
+	for i, j := range jobs {
+		if want := fmt.Sprintf("job-%06d", i+1); j.ID != want {
+			t.Fatalf("jobs[%d].ID = %s, want %s", i, j.ID, want)
+		}
+	}
+}

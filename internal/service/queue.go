@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -350,7 +351,12 @@ func (q *Queue) Job(id string) (JobStatus, bool) {
 	return j.snapshot(), true
 }
 
-// Jobs snapshots every retained job in creation order.
+// Jobs snapshots every retained job, sorted by id ascending — the
+// GET /v1/jobs contract. IDs are sequential ("job-%06d"), so this is
+// also creation order today; the explicit sort pins the contract
+// rather than leaning on how the history list happens to be
+// maintained. Shorter ids sort first so the order survives the id
+// counter outgrowing its zero padding.
 func (q *Queue) Jobs() []JobStatus {
 	q.mu.Lock()
 	ids := append([]string(nil), q.order...)
@@ -363,6 +369,13 @@ func (q *Queue) Jobs() []JobStatus {
 	for _, j := range jobs {
 		out = append(out, j.snapshot())
 	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ID, out[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -327,5 +328,38 @@ func TestQueueHistoryEviction(t *testing.T) {
 	}
 	if jobs[len(jobs)-1].Spec.Seed != 6 {
 		t.Fatalf("newest job lost: %+v", jobs)
+	}
+}
+
+// TestQueueJobsSortedByID pins the Jobs() ordering contract: snapshots
+// come back sorted by id ascending even when the internal history list
+// is not in that order.
+func TestQueueJobsSortedByID(t *testing.T) {
+	sim := func(ctx context.Context, s spec.Spec) (*stats.Run, error) {
+		return &stats.Run{Runtime: 1}, nil
+	}
+	store, _ := OpenStore("", 0)
+	q := NewQueue(store, 2, 0, sim, nil)
+	const n = 5
+	for seed := uint64(1); seed <= n; seed++ {
+		if _, err := q.Do(context.Background(), testSpec(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Scramble the internal history list: the explicit sort, not the
+	// list's creation order, must produce the contract ordering.
+	q.mu.Lock()
+	for i, j := 0, len(q.order)-1; i < j; i, j = i+1, j-1 {
+		q.order[i], q.order[j] = q.order[j], q.order[i]
+	}
+	q.mu.Unlock()
+	jobs := q.Jobs()
+	if len(jobs) != n {
+		t.Fatalf("retained %d jobs, want %d", len(jobs), n)
+	}
+	for i, j := range jobs {
+		if want := fmt.Sprintf("job-%06d", i+1); j.ID != want {
+			t.Fatalf("jobs[%d].ID = %s, want %s", i, j.ID, want)
+		}
 	}
 }

@@ -138,14 +138,17 @@ func (r *Run) UnmarshalJSON(data []byte) error {
 	r.misses[MissFromMemory] = j.MissesFromMemory
 	r.misses[MissCacheToCache] = j.MissesCacheToCache
 	r.misses[MissUpgrade] = j.MissesUpgrade
-	for c, jc := range map[Class]jsonClass{
-		ClassData:    j.TrafficData,
-		ClassRequest: j.TrafficRequest,
-		ClassNack:    j.TrafficNack,
-		ClassMisc:    j.TrafficMisc,
+	for _, tc := range []struct {
+		c  Class
+		jc jsonClass
+	}{
+		{ClassData, j.TrafficData},
+		{ClassRequest, j.TrafficRequest},
+		{ClassNack, j.TrafficNack},
+		{ClassMisc, j.TrafficMisc},
 	} {
-		r.Traffic.linkBytes[c] = jc.LinkBytes
-		r.Traffic.messages[c] = jc.Messages
+		r.Traffic.linkBytes[tc.c] = tc.jc.LinkBytes
+		r.Traffic.messages[tc.c] = tc.jc.Messages
 	}
 	// The marshalled total is derived from the classes; a mismatch means
 	// the document was corrupted or hand-edited, so refuse it.

@@ -277,17 +277,23 @@ func (n *Network) Start() {
 	}
 	// Kick the system: endpoints tick on their initial credits; switches
 	// attempt their first propagation.
-	n.k.At(n.k.Now(), func() {
-		for _, e := range n.endpoints {
-			for e.credits > 0 {
-				e.credits--
-				e.tick()
-			}
+	n.k.AtCall(n.k.Now(), startNetwork, n, nil, 0)
+}
+
+// startNetwork is the typed kernel event that kicks the system at start
+// time: a0 is the Network. Endpoints tick on their initial credits and
+// switches attempt their first propagation.
+func startNetwork(a0, a1 any, i0 int64) {
+	n := a0.(*Network)
+	for _, e := range n.endpoints {
+		for e.credits > 0 {
+			e.credits--
+			e.tick()
 		}
-		for _, sw := range n.switches {
-			sw.tryPropagate()
-		}
-	})
+	}
+	for _, sw := range n.switches {
+		sw.tryPropagate()
+	}
 }
 
 // GT returns endpoint ep's guarantee time (ticks performed).

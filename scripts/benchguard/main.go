@@ -74,6 +74,7 @@ func main() {
 	}
 
 	got := map[string]measurement{}
+	lines := map[string][]string{} // raw result lines per benchmark, for failure reports
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -83,6 +84,7 @@ func main() {
 		if m == nil {
 			continue
 		}
+		lines[m[1]] = append(lines[m[1]], line)
 		ns, _ := strconv.ParseFloat(m[2], 64)
 		bop, _ := strconv.ParseFloat(m[3], 64)
 		allocs, _ := strconv.ParseFloat(m[4], 64)
@@ -125,6 +127,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchguard: %s took %.1f ns/op, over %.1f (baseline %.1f x factor %.2f)\n",
 				name, cur.NsOp, limit, want.NsOp, factor)
 			failed, ok = true, false
+		}
+		if !ok {
+			// Show the offending benchmark before/after: the committed
+			// baseline measurement and every raw result line from this run.
+			fmt.Fprintf(os.Stderr, "benchguard: %s before: %.1f ns/op  %.0f B/op  %.0f allocs/op (baseline)\n",
+				name, want.NsOp, want.BOp, want.AllocsOp)
+			for _, line := range lines[name] {
+				fmt.Fprintf(os.Stderr, "benchguard: %s after:  %s\n", name, line)
+			}
 		}
 		if ok {
 			fmt.Printf("benchguard: %-28s %10.1f ns/op (baseline %10.1f) %6.0f allocs/op (baseline %.0f) ok\n",
