@@ -19,6 +19,7 @@ import (
 	"tsnoop/internal/coherence"
 	"tsnoop/internal/core"
 	"tsnoop/internal/harness"
+	"tsnoop/internal/obs"
 	"tsnoop/internal/sim"
 	"tsnoop/internal/stats"
 	"tsnoop/internal/system"
@@ -338,6 +339,47 @@ func BenchmarkTsnetBroadcast(b *testing.B) {
 	run := &stats.Run{}
 	cfg := tsnet.DefaultConfig()
 	cfg.Verify = false
+	net := tsnet.New(k, topo, cfg, &run.Traffic, run)
+	delivered := 0
+	for ep := 0; ep < 16; ep++ {
+		net.Register(ep, func(int, uint64, any, sim.Time) { delivered++ }, nil)
+	}
+	net.Start()
+	k.RunUntil(100 * sim.Nanosecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		want := delivered + 16
+		net.Inject(i%16, nil)
+		k.RunWhile(func() bool { return delivered < want })
+	}
+}
+
+// BenchmarkKernelEventsProbed is BenchmarkKernelEvents with a telemetry
+// probe attached: the per-dispatch overhead of -metrics on the kernel
+// (two histogram observes and a couple of counter increments).
+func BenchmarkKernelEventsProbed(b *testing.B) {
+	k := sim.NewKernel()
+	k.SetProbe(obs.NewProbe())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.After(1, func() {})
+		k.Step()
+	}
+}
+
+// BenchmarkTsnetBroadcastProbed is BenchmarkTsnetBroadcast with a
+// telemetry probe wired through the kernel and the address network —
+// the full -metrics recording cost on the hottest simulated path.
+func BenchmarkTsnetBroadcastProbed(b *testing.B) {
+	topo := topology.MustButterfly(4)
+	k := sim.NewKernel()
+	probe := obs.NewProbe()
+	k.SetProbe(probe)
+	run := &stats.Run{}
+	cfg := tsnet.DefaultConfig()
+	cfg.Verify = false
+	cfg.Probe = probe
 	net := tsnet.New(k, topo, cfg, &run.Traffic, run)
 	delivered := 0
 	for ep := 0; ep < 16; ep++ {

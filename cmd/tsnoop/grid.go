@@ -105,13 +105,14 @@ func streamGrid(stream iter.Seq2[harness.CellResult, error], e harness.Experimen
 	total := len(benchmarks) * len(e.ProtocolNames())
 	g := harness.NewGrid(network, benchmarks)
 	done := 0
+	meter := newProgressMeter()
 	for cr, err := range stream {
 		if err != nil {
 			return nil, err
 		}
 		done++
 		if progress {
-			fmt.Fprintf(stderr, "grid %s: %d/%d %s/%s done\n", network, done, total, cr.Cell.Benchmark, cr.Cell.Protocol)
+			fmt.Fprintf(stderr, "grid %s: %d/%d %s/%s done%s\n", network, done, total, cr.Cell.Benchmark, cr.Cell.Protocol, meter.note(done, total))
 		}
 		if jsonOut {
 			line, err := json.Marshal(cr)

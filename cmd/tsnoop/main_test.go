@@ -169,6 +169,48 @@ func TestRunJSONByteStableAcrossWorkers(t *testing.T) {
 	}
 }
 
+// -metrics telemetry is keyed to simulated time and event counts only,
+// so the full cell JSON — metrics block included — must stay
+// byte-identical across worker counts. The flag-off golden above pins
+// that the block is absent when telemetry is off.
+func TestRunMetricsJSONByteStableAcrossWorkers(t *testing.T) {
+	var want string
+	for i, workers := range []string{"1", "4"} {
+		out, _ := execTsnoop(t, "run", "-benchmark", "barnes", "-nodes", "4",
+			"-quota", "150", "-warmup", "80", "-seeds", "3", "-perturb-ns", "3",
+			"-json", "-metrics", "-workers", workers)
+		if i == 0 {
+			want = out
+			for _, field := range []string{`"metrics"`, "typed_dispatches", "link_utilization_ppm", "mshr_occupancy"} {
+				if !strings.Contains(out, field) {
+					t.Fatalf("-metrics JSON missing %s:\n%s", field, out)
+				}
+			}
+			continue
+		}
+		if out != want {
+			t.Errorf("workers=%s: metrics JSON not byte-stable:\n got:\n%s\nwant:\n%s", workers, out, want)
+		}
+	}
+}
+
+// Text mode renders the metrics block after the run summary, and
+// -metrics with -cache bypasses the result store (the store's contract
+// is byte-identical payloads per canonical key; telemetry would break
+// it) with a note instead of a failure.
+func TestRunMetricsTextAndCacheBypass(t *testing.T) {
+	out, _ := execTsnoop(t, "run", "-benchmark", "barnes", "-nodes", "4",
+		"-quota", "150", "-warmup", "80", "-metrics")
+	if !strings.Contains(out, "metrics:") || !strings.Contains(out, "token rounds") {
+		t.Errorf("text mode missing metrics block:\n%s", out)
+	}
+	_, errOut := execTsnoop(t, "run", "-benchmark", "barnes", "-nodes", "4",
+		"-quota", "150", "-warmup", "80", "-metrics", "-cache", t.TempDir())
+	if !strings.Contains(errOut, "bypasses the result store") {
+		t.Errorf("expected a store-bypass note on stderr, got:\n%s", errOut)
+	}
+}
+
 func TestCheckSmoke(t *testing.T) {
 	out, _ := execTsnoop(t, "check", "-seeds", "2", "-ops", "60", "-workers", "1")
 	if !strings.Contains(out, "20 stress runs passed (10 combos x 2 seeds") {

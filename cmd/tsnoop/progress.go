@@ -1,0 +1,32 @@
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+// progressMeter derives throughput and a completion estimate for the
+// -progress stream. It is the only place wall-clock time meets the
+// grid/sweep path — the simulator itself never reads a clock — and it
+// decorates the existing per-cell line rather than adding lines, so
+// one completion still means exactly one stderr line.
+type progressMeter struct {
+	start time.Time
+}
+
+func newProgressMeter() *progressMeter { return &progressMeter{start: time.Now()} }
+
+// note renders " (X.X cells/s, ETA Ys)" after done of total
+// completions. The rate is cumulative (completions over total elapsed
+// time), which smooths the estimate across cells of very different
+// cost. Fully cached streams can complete within clock resolution;
+// the note stays empty rather than printing an infinite rate.
+func (p *progressMeter) note(done, total int) string {
+	elapsed := time.Since(p.start).Seconds()
+	if done <= 0 || elapsed <= 0 {
+		return ""
+	}
+	rate := float64(done) / elapsed
+	eta := time.Duration(float64(total-done) / rate * float64(time.Second)).Round(time.Second)
+	return fmt.Sprintf(" (%.1f cells/s, ETA %s)", rate, eta)
+}

@@ -51,7 +51,12 @@ var runCmd = &command{
 			if s.Seeds > 1 {
 				fmt.Fprintf(stdout, "best of %d runs (seeds %d..%d)\n", s.Seeds, s.Seed, s.Seed+uint64(s.Seeds-1))
 			}
-			_, err = io.WriteString(stdout, run.Summary())
+			if _, err = io.WriteString(stdout, run.Summary()); err != nil {
+				return err
+			}
+			if run.Metrics != nil {
+				_, err = io.WriteString(stdout, run.Metrics.Summary())
+			}
 			return err
 		}
 	},
@@ -63,6 +68,14 @@ var runCmd = &command{
 // is computed and stored. Output is byte-identical either way.
 func runMaybeCached(ctx context.Context, s spec.Spec, cacheDir string, stderr io.Writer) (*stats.Run, error) {
 	if cacheDir == "" {
+		return s.RunContext(ctx)
+	}
+	if s.Metrics {
+		// The store's contract is byte-identical payloads per canonical
+		// key, and Normalize clears the metrics knob (an instrumented run
+		// is the same experiment), so a metrics-bearing rendering can
+		// neither be stored under nor served from that key. Run directly.
+		fmt.Fprintln(stderr, "tsnoop: -metrics bypasses the result store (telemetry is not cached)")
 		return s.RunContext(ctx)
 	}
 	sv, err := newCacheService(ctx, cacheDir, s.Workers)

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os/signal"
@@ -24,9 +25,11 @@ import (
 //
 // Endpoints: POST /v1/runs (Spec JSON -> Run JSON), POST /v1/grids and
 // /v1/sweeps (NDJSON streams in presentation order), GET /v1/jobs[/{id}]
-// (progress), GET /healthz. SIGTERM or Ctrl-C drains gracefully:
-// in-flight requests finish (and their results land in the store)
-// before the process exits.
+// (progress and phase spans), GET /healthz, GET /metrics (Prometheus
+// text exposition). Requests are access-logged as structured records on
+// stderr. SIGTERM or Ctrl-C drains gracefully: in-flight requests
+// finish (and their results land in the store) before the process
+// exits.
 var serveCmd = &command{
 	name:    "serve",
 	summary: "serve experiments over HTTP (content-addressed store + dedup queue)",
@@ -48,6 +51,8 @@ var serveCmd = &command{
 				Dir:     *cacheDir,
 				LRU:     *lru,
 				Workers: *workers,
+				Version: versionString(),
+				Logger:  slog.New(slog.NewTextHandler(stderr, nil)),
 			})
 			if err != nil {
 				return err

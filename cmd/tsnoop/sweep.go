@@ -65,13 +65,14 @@ var sweepCmd = &command{
 				stream = sv.StreamPoints(ctx, sw.Points)
 			}
 			pts := make([]harness.SweepPoint, 0, len(sw.Points))
+			meter := newProgressMeter()
 			for pt, err := range stream {
 				if err != nil {
 					return err
 				}
 				pts = append(pts, pt)
 				if *progress {
-					fmt.Fprintf(stderr, "sweep %s: %d/%d %s/%s done\n", *kind, len(pts), len(sw.Points), pt.Label, pt.Protocol)
+					fmt.Fprintf(stderr, "sweep %s: %d/%d %s/%s done%s\n", *kind, len(pts), len(sw.Points), pt.Label, pt.Protocol, meter.note(len(pts), len(sw.Points)))
 				}
 				if *jsonOut {
 					line, err := json.Marshal(pt)

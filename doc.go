@@ -47,6 +47,22 @@
 // bench-regression CI job guards them via scripts/benchguard; see the
 // README's Performance section.
 //
+// Observability is deterministic and zero-overhead when off
+// (internal/obs): a nil-guarded Probe — the same discipline as the
+// Verify hook, one branch per site when disabled — records dense-slice
+// counters and fixed log2-bucket histograms of kernel dispatch, link
+// utilization, buffer/reorder/MSHR occupancy, and token-stall behavior,
+// all keyed to simulated time, so the -metrics / core.WithMetrics block
+// in a run's JSON is byte-identical at any worker count. The knob
+// follows the Verify pattern through spec.Normalize: enabling telemetry
+// never changes a spec's canonical hash, and because the result store
+// requires byte-identical payloads per key, instrumented runs bypass
+// the store (the service strips the knob). The serve subcommand adds
+// wall-clock-side observability that never touches the simulator: a
+// Prometheus text exposition on GET /metrics, slog access logs, and
+// per-job phase spans on GET /v1/jobs/{id}. See the README's
+// "Observability" section; BENCH_7.json records the overhead envelope.
+//
 // Those invariants — the zero-alloc hot path, pool hygiene,
 // byte-identical determinism, and the stability of the canonical spec
 // hash — are enforced statically, not just by tests: internal/analysis

@@ -48,6 +48,7 @@ var hotPackages = []string{
 	"tsnoop/internal/processor",
 	"tsnoop/internal/cache",
 	"tsnoop/internal/coherence",
+	"tsnoop/internal/obs",
 }
 
 const hotPrefix = "tsnoop/internal/protocol/"

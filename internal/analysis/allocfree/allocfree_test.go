@@ -14,6 +14,7 @@ import (
 func TestAllocFree(t *testing.T) {
 	analysistest.Run(t, "testdata", allocfree.Analyzer,
 		"tsnoop/internal/tsnet",
+		"tsnoop/internal/obs",
 		"tsnoop/internal/service",
 	)
 }

@@ -1,0 +1,51 @@
+// Fixture for the allocfree analyzer: tsnoop/internal/obs is a hot-path
+// package — probe methods run inside event dispatch, so the nil-guarded
+// direct call is the only allowed shape. A closure that captures the
+// probe to schedule it through the legacy path, and map traffic inside
+// probe methods reachable from dispatch, are diagnostics.
+package obs
+
+import "tsnoop/internal/sim"
+
+type Probe struct {
+	counts []int64
+	labels map[string]int64
+}
+
+// Event increments a dense-slice counter: the allowed probe shape.
+func (p *Probe) Event(kind int) { p.counts[kind]++ }
+
+// label is dispatch-reachable through handler below, so its map
+// allocation is a diagnostic even though label itself is never
+// scheduled.
+func (p *Probe) label() {
+	p.labels = make(map[string]int64) // want `map allocated in label`
+}
+
+type component struct {
+	k     *sim.Kernel
+	probe *Probe
+}
+
+// handler is the blessed pattern: a package-level EventFn whose probe
+// use is nil-guarded, costing one branch when telemetry is off. No
+// diagnostics on the guard or the call.
+func handler(a0, a1 any, i0 int64) {
+	c := a0.(*component)
+	if p := c.probe; p != nil {
+		p.Event(0)
+		p.label()
+	}
+}
+
+func (c *component) schedule() {
+	c.k.AtCall(0, handler, c, nil, 0)
+	c.k.After(1, func() { c.probe.Event(0) }) // want `closure scheduled through the legacy Kernel.After path`
+}
+
+// size builds the probe's dense slices at construction time, off the
+// dispatch path: map use here is fine.
+func (p *Probe) size(n int) {
+	p.counts = make([]int64, n)
+	p.labels = make(map[string]int64)
+}

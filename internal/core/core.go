@@ -110,6 +110,7 @@ var (
 	WithMulticast       = spec.WithMulticast
 	WithPredictorSize   = spec.WithPredictorSize
 	WithVerify          = spec.WithVerify
+	WithMetrics         = spec.WithMetrics
 	WithBlockBytes      = spec.WithBlockBytes
 	WithCacheBytes      = spec.WithCacheBytes
 )

@@ -16,6 +16,7 @@ package network
 import (
 	"fmt"
 
+	"tsnoop/internal/obs"
 	"tsnoop/internal/sim"
 	"tsnoop/internal/stats"
 	"tsnoop/internal/timing"
@@ -59,6 +60,10 @@ type Fabric struct {
 
 	// Counters for tests and reports.
 	sent int64
+
+	// probe, when non-nil, counts message-delivery dispatches
+	// (nil-guarded: bare runs pay one branch per delivery).
+	probe *obs.Probe
 }
 
 type orderKey struct {
@@ -86,6 +91,9 @@ func New(k *sim.Kernel, topo *topology.Topology, params timing.Params, traffic *
 
 // SetPerturbation installs a delivery-delay sampler (nil disables).
 func (f *Fabric) SetPerturbation(fn func() sim.Duration) { f.perturb = fn }
+
+// SetProbe attaches (or, with nil, detaches) the telemetry probe.
+func (f *Fabric) SetProbe(p *obs.Probe) { f.probe = p }
 
 // Register installs the message handler for endpoint dst. Each endpoint
 // must register exactly once before any Send to it arrives.
@@ -145,6 +153,9 @@ func (f *Fabric) Send(vnet, src, dst int, class stats.Class, bytes int, payload 
 func deliverMsg(a0, a1 any, i0 int64) {
 	f := a0.(*Fabric)
 	pm := a1.(*Message)
+	if p := f.probe; p != nil {
+		p.Event(obs.EvDataMsg)
+	}
 	m := *pm
 	f.msgPool.Put(pm)
 	f.handlers[m.Dst](m)

@@ -30,6 +30,7 @@ import (
 	"tsnoop/internal/cache"
 	"tsnoop/internal/coherence"
 	"tsnoop/internal/network"
+	"tsnoop/internal/obs"
 	"tsnoop/internal/sim"
 	"tsnoop/internal/stats"
 	"tsnoop/internal/timing"
@@ -68,6 +69,10 @@ type Options struct {
 	RetryBackoff sim.Duration
 	// RetrySeed seeds the per-node backoff jitter.
 	RetrySeed uint64
+	// Probe, when non-nil, records deterministic protocol telemetry:
+	// MSHR occupancy, miss-wait latency, and per-kind dispatch counts.
+	// Every call site is nil-guarded, so bare runs pay one branch.
+	Probe *obs.Probe
 }
 
 // DefaultOptions returns the configuration used in the paper's runs.
@@ -202,6 +207,7 @@ type Protocol struct {
 
 	pending   int
 	dataBytes int
+	probe     *obs.Probe // optional deterministic telemetry (Options.Probe)
 
 	// msgPool recycles message payloads: each is delivered to exactly
 	// one endpoint, which returns it to the pool on receipt, so a steady
@@ -226,6 +232,7 @@ func New(k *sim.Kernel, topo *topology.Topology, params timing.Params, run *stat
 		run:    run,
 		oracle: oracle,
 		opts:   opts,
+		probe:  opts.Probe,
 	}
 	p.dataBytes = timing.DataMsgBytes(opts.Cache.BlockBytes)
 	var ordered []int
@@ -235,6 +242,7 @@ func New(k *sim.Kernel, topo *topology.Topology, params timing.Params, run *stat
 		ordered = []int{vnetForward}
 	}
 	p.fabric = network.New(k, topo, params, &run.Traffic, ordered...)
+	p.fabric.SetProbe(opts.Probe)
 	p.nodes = make([]*node, topo.Nodes())
 	rng := sim.NewRand(opts.RetrySeed)
 	for i := range p.nodes {
@@ -307,6 +315,9 @@ func (p *Protocol) Access(nodeID int, op coherence.Op, block coherence.Block, do
 		p.oracle.Observe(nodeID, block, version)
 		n.hitQ.Push(done, coherence.AccessResult{Hit: true, Latency: p.params.L2Hit, Version: version})
 		p.k.AfterCall(p.params.L2Hit, coherence.DeliverHit, &n.hitQ, nil, 0)
+		if pr := p.probe; pr != nil {
+			pr.Event(obs.EvL2Hit)
+		}
 		return
 	}
 
@@ -315,6 +326,9 @@ func (p *Protocol) Access(nodeID int, op coherence.Op, block coherence.Block, do
 		txn = coherence.GetX
 	}
 	p.pending++
+	if pr := p.probe; pr != nil {
+		pr.MSHROcc(p.pending)
+	}
 	m := &n.mshrStore
 	*m = mshr{block: block, op: op, txn: txn, issuedAt: p.k.Now(), done: done}
 	n.mshr = m
@@ -535,6 +549,9 @@ func (n *node) reqNack(m msg) {
 // miss was satisfied or replaced in the meantime).
 func retryRequest(a0, a1 any, i0 int64) {
 	n := a0.(*node)
+	if pr := n.p.probe; pr != nil {
+		pr.Event(obs.EvRetry)
+	}
 	if n.mshr != nil && n.mshr.block == coherence.Block(i0) {
 		n.sendRequest()
 	}
@@ -577,6 +594,9 @@ func (n *node) complete() {
 	ms := n.mshr
 	n.mshr = nil
 	n.p.pending--
+	if pr := n.p.probe; pr != nil {
+		pr.MSHROcc(n.p.pending)
+	}
 	now := n.p.k.Now()
 
 	version := ms.version
@@ -597,6 +617,9 @@ func (n *node) complete() {
 	// callback: the node's single MSHR is reused, and done may issue the
 	// next access synchronously.
 	block, supplier, latency, done := ms.block, ms.supplier, now-ms.issuedAt, ms.done
+	if pr := n.p.probe; pr != nil {
+		pr.MissWait(int64(latency))
+	}
 	n.p.oracle.Observe(n.id, block, version)
 	done(coherence.AccessResult{
 		Kind:    supplier,

@@ -30,6 +30,7 @@ import (
 	"tsnoop/internal/cache"
 	"tsnoop/internal/coherence"
 	"tsnoop/internal/network"
+	"tsnoop/internal/obs"
 	"tsnoop/internal/sim"
 	"tsnoop/internal/stats"
 	"tsnoop/internal/timing"
@@ -77,6 +78,11 @@ type Options struct {
 	// Owned state introduces is derivable from the ordered stream, so the
 	// cache and memory controllers stay consistent without new signals.
 	UseOwnedState bool
+	// Probe, when non-nil, records deterministic protocol telemetry:
+	// MSHR occupancy, miss-wait latency, and per-kind dispatch counts.
+	// Pass the same probe in Net.Probe to cover the address network.
+	// Every call site is nil-guarded, so bare runs pay one branch.
+	Probe *obs.Probe
 }
 
 // DefaultOptions mirrors the paper's evaluated configuration.
@@ -231,6 +237,7 @@ type Protocol struct {
 
 	pending   int
 	dataBytes int
+	probe     *obs.Probe // optional deterministic telemetry (Options.Probe)
 
 	// Free lists for the two pooled payload kinds (see addrTxn, dataMsg).
 	addrPool sim.Pool[addrTxn]
@@ -255,10 +262,12 @@ func New(k *sim.Kernel, topo *topology.Topology, params timing.Params, run *stat
 		run:    run,
 		oracle: oracle,
 		opts:   opts,
+		probe:  opts.Probe,
 	}
 	p.dataBytes = timing.DataMsgBytes(opts.Cache.BlockBytes)
 	p.addr = tsnet.New(k, topo, opts.Net, &run.Traffic, run)
 	p.data = network.New(k, topo, params, &run.Traffic)
+	p.data.SetProbe(opts.Probe)
 	p.nodes = make([]*node, topo.Nodes())
 	for i := range p.nodes {
 		n := &node{
@@ -374,6 +383,9 @@ func (p *Protocol) Access(nodeID int, op coherence.Op, block coherence.Block, do
 		p.oracle.Observe(nodeID, block, version)
 		n.hitQ.Push(done, coherence.AccessResult{Hit: true, Latency: p.params.L2Hit, Version: version})
 		p.k.AfterCall(p.params.L2Hit, coherence.DeliverHit, &n.hitQ, nil, 0)
+		if pr := p.probe; pr != nil {
+			pr.Event(obs.EvL2Hit)
+		}
 		return
 	}
 
@@ -384,6 +396,9 @@ func (p *Protocol) Access(nodeID int, op coherence.Op, block coherence.Block, do
 		kind = coherence.GetX
 	}
 	p.pending++
+	if pr := p.probe; pr != nil {
+		pr.MSHROcc(p.pending)
+	}
 	m := &n.mshrStore
 	obligations := m.obligations[:0]
 	*m = mshr{block: block, op: op, kind: kind, issuedAt: now, done: done}
@@ -426,6 +441,9 @@ func (p *Protocol) sendData(at sim.Time, src, dst int, m *dataMsg) {
 func sendDataEvent(a0, a1 any, i0 int64) {
 	p := a0.(*Protocol)
 	m := a1.(*dataMsg)
+	if pr := p.probe; pr != nil {
+		pr.Event(obs.EvDataSend)
+	}
 	src, dst := int(i0>>32), int(i0&0xffffffff)
 	p.data.Send(0, src, dst, stats.ClassData, p.dataBytes, m)
 }
@@ -772,6 +790,9 @@ func (n *node) complete(m *mshr) {
 	now := n.p.k.Now()
 	n.mshr = nil
 	n.p.pending--
+	if pr := n.p.probe; pr != nil {
+		pr.MSHROcc(n.p.pending)
+	}
 
 	version := m.dataVersion
 	if m.kind == coherence.GetS {
@@ -816,6 +837,9 @@ func (n *node) complete(m *mshr) {
 	// callback: the node's single MSHR is reused, and done may issue the
 	// next access synchronously.
 	block, supplier, latency, done := m.block, m.supplier, now-m.issuedAt, m.done
+	if pr := n.p.probe; pr != nil {
+		pr.MissWait(int64(latency))
+	}
 	n.p.oracle.Observe(n.id, block, version)
 	done(coherence.AccessResult{
 		Kind:    supplier,

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"tsnoop/internal/harness"
 	"tsnoop/internal/spec"
@@ -20,8 +21,9 @@ import (
 //	POST /v1/grids    Spec JSON -> NDJSON cell results, presentation order
 //	POST /v1/sweeps   {"sweep": kind, "spec": Spec} -> NDJSON sweep points
 //	GET  /v1/jobs     all retained jobs
-//	GET  /v1/jobs/{id} one job's status and progress
-//	GET  /healthz     store and queue counters
+//	GET  /v1/jobs/{id} one job's status, progress, and phase spans
+//	GET  /healthz     liveness: version, uptime, store and queue counters
+//	GET  /metrics     Prometheus text exposition (format 0.0.4)
 //
 // Every /v1/runs response carries X-Tsnoop-Key (the spec's canonical
 // hash) and X-Tsnoop-Cache: "hit" (served from the store), "join"
@@ -40,16 +42,19 @@ const (
 	CacheMiss = "miss"
 )
 
-// NewHandler returns the service's HTTP API over sv.
+// NewHandler returns the service's HTTP API over sv. Every request is
+// counted into the /metrics request series; configuring Config.Logger
+// additionally emits one structured access-log record per request.
 func NewHandler(sv *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", sv.handleHealthz)
+	mux.HandleFunc("GET /metrics", sv.handleMetrics)
 	mux.HandleFunc("POST /v1/runs", sv.handleRuns)
 	mux.HandleFunc("POST /v1/grids", sv.handleGrids)
 	mux.HandleFunc("POST /v1/sweeps", sv.handleSweeps)
 	mux.HandleFunc("GET /v1/jobs", sv.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", sv.handleJob)
-	return mux
+	return sv.instrument(mux)
 }
 
 // httpError writes a one-object JSON error body.
@@ -217,12 +222,27 @@ func (sv *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 
 // health is the /healthz document.
 type health struct {
-	Status string     `json:"status"`
-	Store  StoreStats `json:"store"`
-	Queue  QueueStats `json:"queue"`
+	Status string `json:"status"`
+	// Version is the server's build identifier (tsnoop version); empty
+	// when the binary was built without module metadata.
+	Version string `json:"version,omitempty"`
+	// UptimeSeconds counts whole seconds since the service was built.
+	UptimeSeconds int64 `json:"uptime_seconds"`
+	// ActiveJobs counts jobs currently queued or running.
+	ActiveJobs int        `json:"active_jobs"`
+	Store      StoreStats `json:"store"`
+	Queue      QueueStats `json:"queue"`
 }
 
 func (sv *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	qs := sv.QueueStats()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(health{Status: "ok", Store: sv.StoreStats(), Queue: sv.QueueStats()})
+	json.NewEncoder(w).Encode(health{
+		Status:        "ok",
+		Version:       sv.version,
+		UptimeSeconds: int64(time.Since(sv.started).Seconds()),
+		ActiveJobs:    qs.Queued + qs.Running,
+		Store:         sv.StoreStats(),
+		Queue:         qs,
+	})
 }

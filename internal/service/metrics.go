@@ -1,0 +1,183 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Service observability: a hand-rolled Prometheus text exposition on
+// GET /metrics and a structured access log, both stdlib-only. The
+// exposition follows text format 0.0.4 (the format every scraper
+// accepts) and is rendered in a fixed order — families in the order
+// written below, labelled series sorted by label value — so two scrapes
+// of an idle service are byte-identical and tests can compare output
+// textually.
+//
+// None of this touches the simulator: request counting and span timing
+// are wall-clock concerns of the HTTP layer, kept out of internal/sim
+// and internal/obs by construction.
+
+// httpMetrics counts finished HTTP requests by route pattern and status
+// code. Routes come from http.Request.Pattern (the registered mux
+// pattern, e.g. "GET /v1/jobs/{id}"), so path parameters never explode
+// the label space.
+type httpMetrics struct {
+	mu       sync.Mutex
+	requests map[routeCode]int64
+}
+
+type routeCode struct {
+	route string
+	code  int
+}
+
+func (m *httpMetrics) observe(route string, code int) {
+	m.mu.Lock()
+	if m.requests == nil {
+		m.requests = make(map[routeCode]int64)
+	}
+	m.requests[routeCode{route, code}]++
+	m.mu.Unlock()
+}
+
+// snapshot returns the request counters sorted by route then code.
+func (m *httpMetrics) snapshot() ([]routeCode, map[routeCode]int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]routeCode, 0, len(m.requests))
+	counts := make(map[routeCode]int64, len(m.requests))
+	for k, v := range m.requests {
+		keys = append(keys, k)
+		counts[k] = v
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	return keys, counts
+}
+
+// observedWriter wraps a ResponseWriter to record the status code and
+// body size. It implements http.Flusher unconditionally (a no-op when
+// the underlying writer cannot flush) because streamNDJSON type-asserts
+// for it — wrapping must not break per-cell streaming.
+type observedWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *observedWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *observedWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *observedWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps the API mux with request counting and (when a logger
+// is configured) one access-log record per finished request.
+func (sv *Service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ow := &observedWriter{ResponseWriter: w}
+		next.ServeHTTP(ow, r)
+		if ow.status == 0 {
+			ow.status = http.StatusOK
+		}
+		// r.Pattern is set by the mux during ServeHTTP; unmatched
+		// requests (404s) fall into one catch-all series.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		sv.httpm.observe(route, ow.status)
+		if sv.logger != nil {
+			sv.logger.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", route,
+				"status", ow.status,
+				"bytes", ow.bytes,
+				"dur_ms", time.Since(start).Milliseconds(),
+			)
+		}
+	})
+}
+
+// promFamily writes one metric family header.
+func promFamily(b *strings.Builder, name, help, typ string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (sv *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ss := sv.StoreStats()
+	qs := sv.QueueStats()
+
+	var spans JobSpans
+	for _, j := range sv.Jobs() {
+		spans.QueueWaitUS += j.Spans.QueueWaitUS
+		spans.SimulateUS += j.Spans.SimulateUS
+		spans.StoreWriteUS += j.Spans.StoreWriteUS
+	}
+
+	var b strings.Builder
+	promFamily(&b, "tsnoop_uptime_seconds", "Seconds since the service started.", "gauge")
+	fmt.Fprintf(&b, "tsnoop_uptime_seconds %d\n", int64(time.Since(sv.started).Seconds()))
+
+	promFamily(&b, "tsnoop_store_hits_total", "Result-store lookups answered from memory or disk.", "counter")
+	fmt.Fprintf(&b, "tsnoop_store_hits_total %d\n", ss.Hits)
+	promFamily(&b, "tsnoop_store_misses_total", "Result-store lookups that found nothing.", "counter")
+	fmt.Fprintf(&b, "tsnoop_store_misses_total %d\n", ss.Misses)
+	promFamily(&b, "tsnoop_store_puts_total", "Results written to the store.", "counter")
+	fmt.Fprintf(&b, "tsnoop_store_puts_total %d\n", ss.Puts)
+	promFamily(&b, "tsnoop_store_errors_total", "Failed store reads and writes.", "counter")
+	fmt.Fprintf(&b, "tsnoop_store_errors_total %d\n", ss.Errors)
+	promFamily(&b, "tsnoop_store_entries", "Results resident in the in-memory LRU.", "gauge")
+	fmt.Fprintf(&b, "tsnoop_store_entries %d\n", ss.Entries)
+
+	promFamily(&b, "tsnoop_queue_jobs", "Retained jobs by state.", "gauge")
+	fmt.Fprintf(&b, "tsnoop_queue_jobs{state=\"queued\"} %d\n", qs.Queued)
+	fmt.Fprintf(&b, "tsnoop_queue_jobs{state=\"running\"} %d\n", qs.Running)
+	fmt.Fprintf(&b, "tsnoop_queue_jobs{state=\"done\"} %d\n", qs.Done)
+	fmt.Fprintf(&b, "tsnoop_queue_jobs{state=\"failed\"} %d\n", qs.Failed)
+	promFamily(&b, "tsnoop_queue_joined_total", "Requests answered by joining an in-flight job.", "counter")
+	fmt.Fprintf(&b, "tsnoop_queue_joined_total %d\n", qs.Joined)
+	promFamily(&b, "tsnoop_jobs_active", "Jobs currently queued or running.", "gauge")
+	fmt.Fprintf(&b, "tsnoop_jobs_active %d\n", qs.Queued+qs.Running)
+
+	promFamily(&b, "tsnoop_job_phase_us", "Wall-clock microseconds spent per job phase, summed over retained jobs.", "gauge")
+	fmt.Fprintf(&b, "tsnoop_job_phase_us{phase=\"queue_wait\"} %d\n", spans.QueueWaitUS)
+	fmt.Fprintf(&b, "tsnoop_job_phase_us{phase=\"simulate\"} %d\n", spans.SimulateUS)
+	fmt.Fprintf(&b, "tsnoop_job_phase_us{phase=\"store_write\"} %d\n", spans.StoreWriteUS)
+
+	keys, counts := sv.httpm.snapshot()
+	promFamily(&b, "tsnoop_http_requests_total", "Finished HTTP requests by route pattern and status.", "counter")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "tsnoop_http_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, counts[k])
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}

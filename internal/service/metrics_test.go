@@ -1,0 +1,303 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tsnoop/internal/spec"
+	"tsnoop/internal/stats"
+)
+
+// fastSim is a sim stub with a tiny but measurable duration, so the
+// simulate span is provably nonzero.
+func fastSim(ctx context.Context, s spec.Spec) (*stats.Run, error) {
+	time.Sleep(time.Millisecond)
+	return &stats.Run{Runtime: 5}, nil
+}
+
+// scrape fetches and returns the /metrics exposition.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q, want the 0.0.4 text exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts one sample line's value from an exposition.
+func metricValue(t *testing.T, body, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v int64
+			if _, err := fmt.Sscanf(line, name+" %d", &v); err != nil {
+				t.Fatalf("unparsable sample %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not in exposition:\n%s", name, body)
+	return 0
+}
+
+// The store counters drive the exposition: a fresh submission is a miss
+// plus a put, a repeat is a hit, and every finished request lands in
+// the per-route series.
+func TestMetricsExpositionCountersMove(t *testing.T) {
+	_, srv := newTestServer(t, "", fastSim)
+	before := scrape(t, srv.URL)
+	if v := metricValue(t, before, "tsnoop_store_hits_total"); v != 0 {
+		t.Fatalf("fresh service hits = %d, want 0", v)
+	}
+
+	body := spec.New("barnes", spec.WithNodes(4), spec.WithQuota(50)).JSON()
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, srv.URL+"/v1/runs", body)
+		io.Copy(io.Discard, resp.Body)
+	}
+
+	after := scrape(t, srv.URL)
+	if v := metricValue(t, after, "tsnoop_store_misses_total"); v != 1 {
+		t.Errorf("misses = %d, want 1", v)
+	}
+	if v := metricValue(t, after, "tsnoop_store_hits_total"); v != 1 {
+		t.Errorf("hits = %d, want 1", v)
+	}
+	if v := metricValue(t, after, "tsnoop_store_puts_total"); v != 1 {
+		t.Errorf("puts = %d, want 1", v)
+	}
+	if !strings.Contains(after, `tsnoop_http_requests_total{route="POST /v1/runs",code="200"} 2`) {
+		t.Errorf("per-route request counter missing:\n%s", after)
+	}
+	if !strings.Contains(after, `tsnoop_queue_jobs{state="done"} 1`) {
+		t.Errorf("queue job gauge missing:\n%s", after)
+	}
+	// Phase spans: the sim stub sleeps 1ms, so simulate_us must be
+	// positive once the job is done.
+	if !strings.Contains(after, `tsnoop_job_phase_us{phase="simulate"}`) {
+		t.Errorf("phase span family missing:\n%s", after)
+	}
+}
+
+// Two scrapes of an idle service must be byte-identical apart from the
+// uptime gauge — the exposition order is pinned, not map-ordered.
+func TestMetricsExpositionDeterministic(t *testing.T) {
+	_, srv := newTestServer(t, "", fastSim)
+	resp := postJSON(t, srv.URL+"/v1/runs", spec.New("barnes", spec.WithNodes(4), spec.WithQuota(50)).JSON())
+	io.Copy(io.Discard, resp.Body)
+
+	strip := func(s string) string {
+		var b strings.Builder
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "tsnoop_uptime_seconds ") ||
+				strings.HasPrefix(line, `tsnoop_http_requests_total{route="GET /metrics"`) {
+				continue
+			}
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
+	a := scrape(t, srv.URL)
+	b := scrape(t, srv.URL)
+	if strip(a) != strip(b) {
+		t.Errorf("idle scrapes differ:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+// /healthz carries the build version, uptime, and active-job count.
+func TestHealthzVersionUptimeActive(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	sv, err := New(Config{Version: "v1.2.3-test", Sim: func(ctx context.Context, s spec.Spec) (*stats.Run, error) {
+		<-release
+		return &stats.Run{Runtime: 5}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(sv))
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { once.Do(func() { close(release) }) })
+
+	getHealth := func() health {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	h := getHealth()
+	if h.Version != "v1.2.3-test" {
+		t.Errorf("version = %q, want v1.2.3-test", h.Version)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("uptime = %d, want >= 0", h.UptimeSeconds)
+	}
+	if h.ActiveJobs != 0 {
+		t.Errorf("idle active jobs = %d, want 0", h.ActiveJobs)
+	}
+
+	// A gated job shows up as active until released.
+	go func() {
+		_, _ = sv.Do(context.Background(), spec.New("barnes", spec.WithNodes(4), spec.WithQuota(50)))
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for getHealth().ActiveJobs != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("active job never appeared in /healthz")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	once.Do(func() { close(release) })
+}
+
+// A finished job reports its phase spans: queue wait, simulate (>= the
+// stub's sleep), and store write.
+func TestJobSpansRecorded(t *testing.T) {
+	sv, srv := newTestServer(t, t.TempDir(), fastSim)
+	resp := postJSON(t, srv.URL+"/v1/runs", spec.New("barnes", spec.WithNodes(4), spec.WithQuota(50)).JSON())
+	jobID := resp.Header.Get("X-Tsnoop-Job")
+	io.Copy(io.Discard, resp.Body)
+
+	job, ok := sv.Job(jobID)
+	if !ok {
+		t.Fatalf("job %s not found", jobID)
+	}
+	if job.Spans.SimulateUS < 1000 {
+		t.Errorf("simulate span = %dus, want >= 1000 (the stub sleeps 1ms)", job.Spans.SimulateUS)
+	}
+	if job.Spans.QueueWaitUS < 0 || job.Spans.StoreWriteUS < 0 {
+		t.Errorf("negative span: %+v", job.Spans)
+	}
+
+	// The spans ride the job JSON.
+	jr, err := http.Get(srv.URL + "/v1/jobs/" + jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	raw, _ := io.ReadAll(jr.Body)
+	for _, field := range []string{"queue_wait_us", "simulate_us", "store_write_us"} {
+		if !strings.Contains(string(raw), field) {
+			t.Errorf("job JSON missing %s:\n%s", field, raw)
+		}
+	}
+}
+
+// Config.Logger receives one structured access-log record per request,
+// carrying the route pattern and status.
+func TestAccessLogRecords(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewTextHandler(lockedWriter{&mu, &buf}, nil))
+	sv, err := New(Config{Sim: fastSim, Logger: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(sv))
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	for _, want := range []string{"method=GET", `route="GET /healthz"`, "status=200"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("access log missing %s:\n%s", want, out)
+		}
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// The queue strips the metrics knob: an instrumented submission is the
+// same experiment, keyed and stored identically to the bare one, and
+// the stored payload never grows a metrics block.
+func TestQueueStripsMetricsKnob(t *testing.T) {
+	sv, err := New(Config{Sim: fastSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := spec.New("barnes", spec.WithNodes(4), spec.WithQuota(50))
+	instrumented := spec.New("barnes", spec.WithNodes(4), spec.WithQuota(50), spec.WithMetrics())
+
+	r1, err := sv.Do(context.Background(), instrumented)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Key != bare.Canonical() {
+		t.Errorf("instrumented key %s != bare canonical %s", r1.Key, bare.Canonical())
+	}
+	if bytes.Contains(r1.Data, []byte(`"metrics"`)) {
+		t.Errorf("service result carries a metrics block:\n%s", r1.Data)
+	}
+	r2, err := sv.Do(context.Background(), bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Error("bare submission after instrumented one should be a store hit")
+	}
+	if !bytes.Equal(r1.Data, r2.Data) {
+		t.Error("instrumented and bare payloads differ under one key")
+	}
+}
+
+// Store read/write failures land in the errors counter.
+func TestStoreErrorsCounted(t *testing.T) {
+	st, err := OpenStore("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Get("not-a-key"); err == nil {
+		t.Fatal("malformed key should error")
+	}
+	if err := st.Put("also-not-a-key", nil); err == nil {
+		t.Fatal("malformed key should error")
+	}
+	if got := st.Stats().Errors; got != 2 {
+		t.Errorf("errors = %d, want 2", got)
+	}
+}

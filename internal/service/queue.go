@@ -47,6 +47,20 @@ type JobStatus struct {
 	StoreError string    `json:"store_error,omitempty"`
 	Created    time.Time `json:"created"`
 	Finished   time.Time `json:"finished,omitzero"`
+	// Spans break the job's wall-clock life into phases; each fills in as
+	// the phase completes, so a running job already shows its queue wait.
+	Spans JobSpans `json:"spans"`
+}
+
+// JobSpans are per-job phase timings in microseconds of wall clock:
+// how long the job sat queued before its first seed started, how long
+// simulation (all seeds, plus result encoding) took, and how long the
+// store write took. Wall-clock time never reaches the simulator — these
+// time the service around it.
+type JobSpans struct {
+	QueueWaitUS  int64 `json:"queue_wait_us"`
+	SimulateUS   int64 `json:"simulate_us"`
+	StoreWriteUS int64 `json:"store_write_us"`
 }
 
 // job is the mutable record behind a JobStatus.
@@ -61,10 +75,18 @@ func (j *job) snapshot() JobStatus {
 	return j.status
 }
 
-func (j *job) start(total int) {
+func (j *job) start(total int, now time.Time) {
 	j.mu.Lock()
 	j.status.State = JobRunning
 	j.status.SeedsTotal = total
+	j.status.Spans.QueueWaitUS = now.Sub(j.status.Created).Microseconds()
+	j.mu.Unlock()
+}
+
+func (j *job) setSpans(simulate, storeWrite time.Duration) {
+	j.mu.Lock()
+	j.status.Spans.SimulateUS = simulate.Microseconds()
+	j.status.Spans.StoreWriteUS = storeWrite.Microseconds()
 	j.mu.Unlock()
 }
 
@@ -191,6 +213,12 @@ func (q *Queue) Do(ctx context.Context, s spec.Spec) (Result, error) {
 	if err := s.Validate(); err != nil {
 		return Result{}, err
 	}
+	// The store's contract is byte-identical payloads per canonical key,
+	// and Normalize clears the metrics knob (an instrumented run is the
+	// same experiment), so a metrics-bearing rendering could collide with
+	// the plain one under the same key. The service answers the
+	// experiment; telemetry stays a local-CLI concern.
+	s.Metrics = false
 	key := s.Canonical()
 	if data, ok, err := q.store.Get(key); err != nil {
 		return Result{}, err
@@ -271,13 +299,16 @@ func (q *Queue) execute(f *flight, s spec.Spec, key string) {
 		close(f.done)
 		q.inflight.Done()
 	}()
+	simStart := time.Now()
 	run, err := q.runSeeds(q.base, s, f.job)
 	if err == nil {
 		f.data, err = json.Marshal(run)
 	}
+	simDur := time.Since(simStart)
 	if err != nil {
 		f.err = err
 		f.data = nil
+		f.job.setSpans(simDur, 0)
 		f.job.finish(err, nil, time.Now().UTC())
 		return
 	}
@@ -285,7 +316,9 @@ func (q *Queue) execute(f *flight, s spec.Spec, key string) {
 	// A failed persist (full or read-only directory) must not discard a
 	// computed result: serve it, keep it in the LRU, and surface the
 	// store trouble on the job instead of degrading every client to 500s.
+	putStart := time.Now()
 	storeErr := q.store.Put(key, f.data)
+	f.job.setSpans(simDur, time.Since(putStart))
 	f.job.finish(nil, storeErr, time.Now().UTC())
 }
 
@@ -313,7 +346,7 @@ func (q *Queue) Drain(ctx context.Context) error {
 // minimum-runtime run (the paper's rule, same as Spec.Run).
 func (q *Queue) runSeeds(ctx context.Context, s spec.Spec, j *job) (*stats.Run, error) {
 	n := s.Seeds
-	j.start(n)
+	j.start(n, time.Now())
 	runs := make([]*stats.Run, 0, n)
 	for run, err := range parallel.Stream(ctx, n, n, func(i int) (*stats.Run, error) {
 		select {

@@ -24,6 +24,8 @@ package service
 import (
 	"context"
 	"iter"
+	"log/slog"
+	"time"
 
 	"tsnoop/internal/harness"
 	"tsnoop/internal/parallel"
@@ -50,6 +52,12 @@ type Config struct {
 	// Ctrl-C cancels simulations, a server passes its own lifetime so
 	// request disconnects do not.
 	BaseContext context.Context
+	// Version is the build identifier /healthz reports (empty = omitted).
+	Version string
+	// Logger, when non-nil, receives one structured access-log record per
+	// HTTP request (method, path, status, bytes, duration). Nil disables
+	// access logging; the /metrics counters run either way.
+	Logger *slog.Logger
 }
 
 // Service is the experiment service: a store fronted by a dedup queue,
@@ -58,6 +66,11 @@ type Config struct {
 type Service struct {
 	store *Store
 	queue *Queue
+
+	version string
+	logger  *slog.Logger
+	started time.Time
+	httpm   httpMetrics
 }
 
 // New opens the store and builds the queue.
@@ -67,8 +80,11 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	return &Service{
-		store: store,
-		queue: NewQueue(store, cfg.Workers, cfg.Keep, cfg.Sim, cfg.BaseContext),
+		store:   store,
+		queue:   NewQueue(store, cfg.Workers, cfg.Keep, cfg.Sim, cfg.BaseContext),
+		version: cfg.Version,
+		logger:  cfg.Logger,
+		started: time.Now(),
 	}, nil
 }
 

@@ -43,7 +43,7 @@ type Store struct {
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
 
-	hits, misses, puts int64
+	hits, misses, puts, errs int64
 }
 
 // storeEntry is one LRU slot.
@@ -58,6 +58,9 @@ type StoreStats struct {
 	Hits    int64 `json:"hits"`
 	Misses  int64 `json:"misses"`
 	Puts    int64 `json:"puts"`
+	// Errors counts failed Get reads and Put writes (malformed keys,
+	// disk trouble) — the signal a /metrics scrape alerts on.
+	Errors int64 `json:"errors"`
 }
 
 // OpenStore opens (creating if needed) a result store rooted at dir. An
@@ -116,11 +119,19 @@ func (st *Store) remember(key string, data []byte) {
 	}
 }
 
+// addErr counts one failed store operation.
+func (st *Store) addErr() {
+	st.mu.Lock()
+	st.errs++
+	st.mu.Unlock()
+}
+
 // Get returns the stored result for a key. The boolean reports whether
 // the key was present; an error means the key was malformed or the disk
 // read failed (absence is not an error).
 func (st *Store) Get(key string) ([]byte, bool, error) {
 	if err := checkKey(key); err != nil {
+		st.addErr()
 		return nil, false, err
 	}
 	st.mu.Lock()
@@ -148,6 +159,7 @@ func (st *Store) Get(key string) ([]byte, bool, error) {
 		return nil, false, nil
 	}
 	if err != nil {
+		st.errs++
 		return nil, false, fmt.Errorf("service: store: %w", err)
 	}
 	st.hits++
@@ -160,6 +172,7 @@ func (st *Store) Get(key string) ([]byte, bool, error) {
 // concurrent Get sees either nothing or the complete document.
 func (st *Store) Put(key string, data []byte) error {
 	if err := checkKey(key); err != nil {
+		st.addErr()
 		return err
 	}
 	st.mu.Lock()
@@ -171,10 +184,12 @@ func (st *Store) Put(key string, data []byte) error {
 	}
 	shard := filepath.Join(st.dir, key[:2])
 	if err := os.MkdirAll(shard, 0o755); err != nil {
+		st.addErr()
 		return fmt.Errorf("service: store: %w", err)
 	}
 	tmp, err := os.CreateTemp(shard, ".put-*")
 	if err != nil {
+		st.addErr()
 		return fmt.Errorf("service: store: %w", err)
 	}
 	if _, err := tmp.Write(data); err == nil {
@@ -185,10 +200,12 @@ func (st *Store) Put(key string, data []byte) error {
 	}
 	if err != nil {
 		os.Remove(tmp.Name())
+		st.addErr()
 		return fmt.Errorf("service: store: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), st.path(key)); err != nil {
 		os.Remove(tmp.Name())
+		st.addErr()
 		return fmt.Errorf("service: store: %w", err)
 	}
 	return nil
@@ -198,5 +215,5 @@ func (st *Store) Put(key string, data []byte) error {
 func (st *Store) Stats() StoreStats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return StoreStats{Entries: st.order.Len(), Hits: st.hits, Misses: st.misses, Puts: st.puts}
+	return StoreStats{Entries: st.order.Len(), Hits: st.hits, Misses: st.misses, Puts: st.puts, Errors: st.errs}
 }

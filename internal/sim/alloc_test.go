@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 	"testing/quick"
+
+	"tsnoop/internal/obs"
 )
 
 // countEvent is the package-level EventFn used by the allocation tests:
@@ -53,6 +55,27 @@ func TestKernelAllocs(t *testing.T) {
 		k.Step()
 	}); a != 0 {
 		t.Errorf("non-capturing closure schedule+dispatch allocates %v/op, want 0", a)
+	}
+}
+
+// TestKernelAllocsWithProbe pins the probes-on budget: the telemetry
+// probe's counters and fixed-bucket histograms are pure integer
+// arithmetic over preallocated storage, so an instrumented kernel
+// still schedules and dispatches without allocating.
+func TestKernelAllocsWithProbe(t *testing.T) {
+	k := NewKernel()
+	k.SetProbe(obs.NewProbe())
+	sum := 0
+	for i := 0; i < 64; i++ {
+		k.AfterCall(Duration(i), countEvent, &sum, nil, 1)
+	}
+	k.Run()
+
+	if a := testing.AllocsPerRun(1000, func() {
+		k.AfterCall(1, countEvent, &sum, nil, 1)
+		k.Step()
+	}); a != 0 {
+		t.Errorf("instrumented typed event schedule+dispatch allocates %v/op, want 0", a)
 	}
 }
 

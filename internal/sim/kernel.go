@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"tsnoop/internal/obs"
+)
 
 // EventFn is the typed-event callback: a plain function (no closure)
 // invoked with the arguments captured at scheduling time. The hot paths
@@ -40,7 +44,15 @@ type Kernel struct {
 	// executed counts dispatched events; useful for progress accounting
 	// and loop-detection in tests.
 	executed uint64
+	// probe is the optional telemetry hook (nil = zero overhead beyond
+	// one predictable branch per schedule/dispatch). It records dispatch
+	// counts, schedule distances, and the heap's high-water mark — all
+	// derived from simulated time, never wall clock.
+	probe *obs.Probe
 }
+
+// SetProbe attaches (or, with nil, detaches) the telemetry probe.
+func (k *Kernel) SetProbe(p *obs.Probe) { k.probe = p }
 
 // NewKernel returns a kernel whose clock starts at zero.
 func NewKernel() *Kernel { return &Kernel{} }
@@ -76,6 +88,9 @@ func (k *Kernel) push(e event) {
 		i = p
 	}
 	k.events = h
+	if p := k.probe; p != nil {
+		p.HeapDepth(len(h))
+	}
 }
 
 // popMin removes and returns the earliest event. The caller must have
@@ -122,6 +137,9 @@ func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
+	if p := k.probe; p != nil {
+		p.ScheduleDelay(int64(t - k.now))
+	}
 	k.seq++
 	k.push(event{at: t, seq: k.seq, fn: fn})
 }
@@ -142,6 +160,9 @@ func (k *Kernel) After(d Duration, fn func()) {
 func (k *Kernel) AtCall(t Time, fn EventFn, a0, a1 any, i0 int64) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	if p := k.probe; p != nil {
+		p.ScheduleDelay(int64(t - k.now))
 	}
 	k.seq++
 	k.push(event{at: t, seq: k.seq, tfn: fn, a0: a0, a1: a1, i0: i0})
@@ -165,6 +186,9 @@ func (k *Kernel) Step() bool {
 	e := k.popMin()
 	k.now = e.at
 	k.executed++
+	if p := k.probe; p != nil {
+		p.Dispatch(e.tfn != nil)
+	}
 	if e.tfn != nil {
 		e.tfn(e.a0, e.a1, e.i0)
 	} else {

@@ -20,6 +20,9 @@ import (
 //   - Verify is cleared: the ordering assertions are instrumentation
 //     that can never change a run's statistics, so a verified and an
 //     unverified run of the same spec are the same experiment.
+//   - Metrics is cleared for the same reason: the telemetry probe
+//     observes the simulation without perturbing it, so an
+//     instrumented run is the same experiment as a bare one.
 //   - A zero QuotaScale/WarmupScale means "unscaled" (see Config's quota
 //     resolution) and becomes the equivalent explicit 1.
 //   - Every negative Warmup requests the same explicitly empty warm-up
@@ -32,6 +35,7 @@ import (
 func (s Spec) Normalize() Spec {
 	s.Workers = 0
 	s.Verify = false
+	s.Metrics = false
 	if s.QuotaScale == 0 {
 		s.QuotaScale = 1
 	}

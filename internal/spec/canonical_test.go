@@ -80,3 +80,20 @@ func TestCanonicalStableAcrossVerifyKnob(t *testing.T) {
 		t.Error("default spec JSON should omit the verify field (store-key stability)")
 	}
 }
+
+// The metrics knob follows the verify knob's contract: an instrumented
+// run is the same experiment, so turning telemetry on must not move the
+// canonical hash, and the default JSON must not grow a metrics field.
+func TestCanonicalStableAcrossMetricsKnob(t *testing.T) {
+	const pr4Default = "54bede6ba4a5e463b291a0464f4557afadb95d5a952191eee278d96e7c6c3896"
+	if got := Default().Canonical(); got != pr4Default {
+		t.Errorf("Default().Canonical() = %s, want the pre-metrics-knob hash %s", got, pr4Default)
+	}
+	s := New("barnes", WithMetrics())
+	if s.Canonical() != New("barnes").Canonical() {
+		t.Error("WithMetrics changed the canonical hash; instrumented and bare runs are the same experiment")
+	}
+	if bytes.Contains(Default().JSON(), []byte("metrics")) {
+		t.Error("default spec JSON should omit the metrics field (store-key stability)")
+	}
+}

@@ -79,6 +79,7 @@ func (s Spec) ConfigFor(gen workload.Generator) (system.Config, error) {
 	cfg.Multicast = s.Multicast
 	cfg.PredictorSize = s.PredictorSize
 	cfg.Verify = s.Verify
+	cfg.Metrics = s.Metrics
 	if s.BlockBytes > 0 {
 		cfg.Cache.BlockBytes = s.BlockBytes
 	}

@@ -60,6 +60,7 @@ func (s *Spec) Bind(fs *flag.FlagSet) {
 	fs.BoolVar(&s.Multicast, "multicast", s.Multicast, "multicast snooping for GETS (TS-Snoop)")
 	fs.IntVar(&s.PredictorSize, "predictor", s.PredictorSize, "multicast predictor entries (0 unbounded, <0 disabled)")
 	fs.BoolVar(&s.Verify, "verify", s.Verify, "enable the address network's internal ordering assertions (TS-Snoop)")
+	fs.BoolVar(&s.Metrics, "metrics", s.Metrics, "record deterministic simulator telemetry (kernel, network, protocol) in the result")
 	fs.IntVar(&s.BlockBytes, "block-bytes", s.BlockBytes, "cache block size override in bytes (0 = default)")
 	fs.IntVar(&s.CacheBytes, "cache-bytes", s.CacheBytes, "per-node cache capacity override in bytes (0 = default)")
 }
@@ -101,6 +102,7 @@ func (s Spec) Args() []string {
 		"-multicast=" + b(s.Multicast),
 		"-predictor", strconv.Itoa(s.PredictorSize),
 		"-verify=" + b(s.Verify),
+		"-metrics=" + b(s.Metrics),
 		"-block-bytes", strconv.Itoa(s.BlockBytes),
 		"-cache-bytes", strconv.Itoa(s.CacheBytes),
 	}

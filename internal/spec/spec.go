@@ -100,6 +100,15 @@ type Spec struct {
 	// across the upgrade.
 	Verify bool `json:"verify,omitempty"`
 
+	// Metrics attaches an obs.Probe to the simulation and surfaces its
+	// deterministic telemetry snapshot as the result's "metrics" block.
+	// Like Verify, it is pure instrumentation — the probe records
+	// counters keyed to simulated time and can never change a run's
+	// statistics — and like Verify it follows the omitempty exception:
+	// Normalize clears it, so enabling telemetry never changes a
+	// Canonical() store key.
+	Metrics bool `json:"metrics,omitempty"`
+
 	// Cache geometry overrides (0 = the paper's 4 MB / 64 B default).
 	BlockBytes int `json:"block_bytes"`
 	CacheBytes int `json:"cache_bytes"`
@@ -196,6 +205,10 @@ func WithPredictorSize(n int) Option { return func(s *Spec) { s.PredictorSize = 
 // WithVerify re-enables the address network's internal ordering
 // assertions (instrumentation only; results are identical either way).
 func WithVerify() Option { return func(s *Spec) { s.Verify = true } }
+
+// WithMetrics attaches the deterministic telemetry probe to the run
+// (instrumentation only; statistics are identical either way).
+func WithMetrics() Option { return func(s *Spec) { s.Metrics = true } }
 
 // WithBlockBytes overrides the cache block size.
 func WithBlockBytes(n int) Option { return func(s *Spec) { s.BlockBytes = n } }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"tsnoop/internal/obs"
 	"tsnoop/internal/sim"
 )
 
@@ -72,6 +73,10 @@ type jsonRun struct {
 	DataTouched          int64 `json:"data_touched_bytes"`
 	EarlyProcessed       int64 `json:"early_processed"`
 	ReorderOccupancyPeak int   `json:"reorder_occupancy_peak"`
+
+	// Metrics is the optional telemetry block; omitted when the run was
+	// not instrumented, so pre-telemetry renderings stay byte-identical.
+	Metrics *obs.Metrics `json:"metrics,omitempty"`
 }
 
 // MarshalJSON renders the run under stable snake_case field names.
@@ -104,6 +109,8 @@ func (r *Run) MarshalJSON() ([]byte, error) {
 		DataTouched:          r.DataTouched,
 		EarlyProcessed:       r.EarlyProcessed,
 		ReorderOccupancyPeak: r.ReorderOccupancy.Max(),
+
+		Metrics: r.Metrics,
 	})
 }
 
@@ -134,6 +141,8 @@ func (r *Run) UnmarshalJSON(data []byte) error {
 
 		DataTouched:    j.DataTouched,
 		EarlyProcessed: j.EarlyProcessed,
+
+		Metrics: j.Metrics,
 	}
 	r.misses[MissFromMemory] = j.MissesFromMemory
 	r.misses[MissCacheToCache] = j.MissesCacheToCache

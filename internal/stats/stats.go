@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"tsnoop/internal/obs"
 	"tsnoop/internal/sim"
 )
 
@@ -193,6 +194,13 @@ type Run struct {
 	// EarlyProcessed counts transactions consumed ahead of their ordering
 	// time under optimization 2.
 	EarlyProcessed int64
+
+	// Metrics is the optional telemetry snapshot (nil unless the run was
+	// executed with the obs probe attached). It is attached once after
+	// the measurement phase, never mutated during it, and rides the
+	// Run's JSON as an omitempty block so uninstrumented renderings are
+	// byte-identical to pre-telemetry ones.
+	Metrics *obs.Metrics
 }
 
 // Reset zeroes all counters at simulated time now, preserving identity so

@@ -10,6 +10,7 @@ import (
 
 	"tsnoop/internal/cache"
 	"tsnoop/internal/coherence"
+	"tsnoop/internal/obs"
 	"tsnoop/internal/processor"
 	"tsnoop/internal/protocol/directory"
 	"tsnoop/internal/protocol/tssnoop"
@@ -65,6 +66,11 @@ type Config struct {
 	// buys nothing on a correct build. The tsnet and protocol test
 	// suites, which construct their networks directly, keep it on.
 	Verify bool
+	// Metrics attaches a shared obs.Probe to the kernel, the networks,
+	// and the protocol, and surfaces its snapshot as Run.Metrics after
+	// the measured phase. Everything the probe records derives from
+	// simulated time, so the snapshot is deterministic.
+	Metrics bool
 	// UseOwnedState upgrades TS-Snoop from MSI to MOSI (the paper's
 	// Section 3 extension; see tssnoop.Options).
 	UseOwnedState bool
@@ -104,6 +110,7 @@ type System struct {
 	gen     workload.Generator
 	touched map[coherence.Block]bool
 	rngs    []*sim.Rand
+	probe   *obs.Probe
 }
 
 // buildTopology maps (network, nodes) to a Topology.
@@ -141,6 +148,11 @@ func Build(cfg Config, gen workload.Generator) (*System, error) {
 	k := sim.NewKernel()
 	run := &stats.Run{}
 	oracle := coherence.NewOracle()
+	var probe *obs.Probe
+	if cfg.Metrics {
+		probe = obs.NewProbe()
+		k.SetProbe(probe)
+	}
 
 	var proto coherence.Protocol
 	switch cfg.Protocol {
@@ -151,6 +163,8 @@ func Build(cfg Config, gen workload.Generator) (*System, error) {
 		opts.Net.TokensPerPort = cfg.TokensPerPort
 		opts.Net.Contention = cfg.Contention
 		opts.Net.Verify = cfg.Verify
+		opts.Net.Probe = probe
+		opts.Probe = probe
 		opts.Prefetch = cfg.Prefetch
 		opts.EarlyProcessing = cfg.EarlyProcessing
 		opts.UseOwnedState = cfg.UseOwnedState
@@ -170,6 +184,7 @@ func Build(cfg Config, gen workload.Generator) (*System, error) {
 		opts := directory.DefaultOptions(v)
 		opts.Cache = cfg.Cache
 		opts.RetrySeed = cfg.Seed ^ 0x4e7247
+		opts.Probe = probe
 		p := directory.New(k, topo, cfg.Params, run, oracle, opts)
 		if cfg.PerturbMax > 0 {
 			prng := sim.NewRand(cfg.Seed ^ 0xfeed)
@@ -188,6 +203,7 @@ func Build(cfg Config, gen workload.Generator) (*System, error) {
 		Run:     run,
 		gen:     gen,
 		touched: make(map[coherence.Block]bool),
+		probe:   probe,
 	}
 	root := sim.NewRand(cfg.Seed)
 	s.rngs = make([]*sim.Rand, cfg.Nodes)
@@ -244,8 +260,16 @@ func (s *System) runPhase(quota int) sim.Time {
 func (s *System) Execute() *stats.Run {
 	s.runPhase(s.Cfg.WarmupPerCPU)
 	s.Run.Reset(s.K.Now())
+	// Reset the probe with the statistics so the telemetry snapshot
+	// covers exactly the measured window.
+	if s.probe != nil {
+		s.probe.Reset()
+	}
 	runtime := s.runPhase(s.Cfg.MeasurePerCPU)
 	s.Run.Runtime = runtime
 	s.Run.DataTouched = int64(len(s.touched)) * int64(s.Cfg.Cache.BlockBytes)
+	if s.probe != nil {
+		s.Run.Metrics = s.probe.Finalize(int64(runtime))
+	}
 	return s.Run
 }

@@ -3,6 +3,7 @@ package tsnet
 import (
 	"testing"
 
+	"tsnoop/internal/obs"
 	"tsnoop/internal/sim"
 	"tsnoop/internal/stats"
 	"tsnoop/internal/topology"
@@ -45,6 +46,46 @@ func TestBroadcastAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("steady-state broadcast allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestBroadcastAllocsWithProbe pins the probes-on budget for the
+// address network: with a telemetry probe attached (and its dense
+// per-link state sized at New), the steady-state broadcast must still
+// not allocate — every probe recorder is integer arithmetic over
+// storage allocated once at build time.
+func TestBroadcastAllocsWithProbe(t *testing.T) {
+	topo := topology.MustButterfly(4)
+	k := sim.NewKernel()
+	probe := obs.NewProbe()
+	k.SetProbe(probe)
+	run := &stats.Run{}
+	cfg := DefaultConfig()
+	cfg.Verify = false
+	cfg.Probe = probe
+	net := New(k, topo, cfg, &run.Traffic, run)
+	delivered := 0
+	for ep := 0; ep < topo.Nodes(); ep++ {
+		net.Register(ep, func(int, uint64, any, sim.Time) { delivered++ }, nil)
+	}
+	net.Start()
+	k.RunUntil(100 * sim.Nanosecond)
+	src := 0
+	for i := 0; i < 8; i++ {
+		want := delivered + topo.Nodes()
+		net.Inject(src, nil)
+		src = (src + 1) % topo.Nodes()
+		k.RunWhile(func() bool { return delivered < want })
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		want := delivered + topo.Nodes()
+		net.Inject(src, nil)
+		src = (src + 1) % topo.Nodes()
+		k.RunWhile(func() bool { return delivered < want })
+	})
+	if allocs != 0 {
+		t.Errorf("instrumented steady-state broadcast allocates %v/op, want 0", allocs)
 	}
 }
 

@@ -31,6 +31,7 @@ package tsnet
 import (
 	"fmt"
 
+	"tsnoop/internal/obs"
 	"tsnoop/internal/sim"
 	"tsnoop/internal/stats"
 	"tsnoop/internal/timing"
@@ -67,6 +68,11 @@ type Config struct {
 	// the history is attached to ordering-consensus panic messages.
 	// Debugging aid, off by default.
 	Trace bool
+	// Probe, when non-nil, records deterministic telemetry: per-link
+	// transit counts, buffer and reorder-queue occupancy, and token
+	// stall episodes. Every call site is nil-guarded (the txnDebug
+	// pattern), so uninstrumented runs pay one branch per site.
+	Probe *obs.Probe
 }
 
 // DefaultConfig returns the configuration used for the paper's
@@ -160,6 +166,7 @@ type Network struct {
 	cfg     Config
 	traffic *stats.Traffic
 	run     *stats.Run // optional; ordering-delay and occupancy stats
+	probe   *obs.Probe // optional; deterministic telemetry (Config.Probe)
 
 	switches  []*swState
 	endpoints []*epState
@@ -195,6 +202,7 @@ func New(k *sim.Kernel, topo *topology.Topology, cfg Config, traffic *stats.Traf
 		cfg:     cfg,
 		traffic: traffic,
 		run:     run,
+		probe:   cfg.Probe,
 		nextSeq: make([]uint64, topo.Nodes()),
 	}
 	n.links = make([]linkMeta, len(topo.Links()))
@@ -212,6 +220,15 @@ func New(k *sim.Kernel, topo *topology.Topology, cfg Config, traffic *stats.Traf
 		for pos, id := range sw.Out {
 			n.links[id].outPos = int32(pos)
 		}
+	}
+	if n.probe != nil {
+		// Size the probe's dense per-link/per-switch state once, at
+		// build time — the probe's only allocations.
+		latPS := make([]int64, len(n.links))
+		for i := range n.links {
+			latPS[i] = int64(n.links[i].lat)
+		}
+		n.probe.SizeNetwork(latPS, topo.NumSwitches())
 	}
 	n.switches = make([]*swState, topo.NumSwitches())
 	for i := range n.switches {
@@ -372,6 +389,10 @@ func deliverTxn(a0, a1 any, i0 int64) {
 	n := a0.(*Network)
 	t := a1.(*txn)
 	id := topology.LinkID(i0)
+	if p := n.probe; p != nil {
+		p.Event(obs.EvLinkTxn)
+		p.LinkTxn(int(id))
+	}
 	m := &n.links[id]
 	if m.toSwitch {
 		n.switches[m.toIndex].arriveTxn(id, t)
@@ -390,6 +411,10 @@ func (n *Network) sendOnLink(id topology.LinkID, t *txn) {
 func deliverToken(a0, a1 any, i0 int64) {
 	n := a0.(*Network)
 	id := topology.LinkID(i0)
+	if p := n.probe; p != nil {
+		p.Event(obs.EvLinkToken)
+		p.LinkToken(int(id))
+	}
 	m := &n.links[id]
 	if m.toSwitch {
 		n.switches[m.toIndex].arriveToken(int(m.inPos))
@@ -453,6 +478,9 @@ func (e *epState) tick() {
 	if e.net.run != nil {
 		e.net.run.ReorderOccupancy.Set(e.net.k.Now(), e.queue.len())
 	}
+	if p := e.net.probe; p != nil {
+		p.ReorderOcc(e.queue.len())
+	}
 	e.net.sendToken(e.net.topo.EndpointOut(e.id))
 }
 
@@ -504,6 +532,9 @@ func (e *epState) arriveTxn(t *txn) {
 	if e.net.run != nil {
 		e.net.run.ReorderOccupancy.Set(e.net.k.Now(), e.queue.len())
 	}
+	if p := e.net.probe; p != nil {
+		p.ReorderOcc(e.queue.len())
+	}
 	e.net.freeTxn(t)
 }
 
@@ -513,6 +544,9 @@ func (e *epState) arriveTxn(t *txn) {
 // every handoff shares the same Dovh delay.
 func deliverOrdered(a0, a1 any, i0 int64) {
 	e := a0.(*epState)
+	if p := e.net.probe; p != nil {
+		p.Event(obs.EvOrderedHandoff)
+	}
 	q := e.outbox.Pop()
 	e.handler(q.src, q.seq, q.payload, q.arrived)
 }

@@ -3,6 +3,7 @@ package tsnet
 import (
 	"fmt"
 
+	"tsnoop/internal/obs"
 	"tsnoop/internal/sim"
 	"tsnoop/internal/topology"
 )
@@ -120,6 +121,9 @@ func (s *swState) arriveTxn(in topology.LinkID, t *txn) {
 		}
 		if s.net.cfg.Contention {
 			s.buffered = append(s.buffered, e)
+			if p := s.net.probe; p != nil {
+				p.BufferOcc(len(s.buffered))
+			}
 			s.kickPort(b.Link)
 		} else {
 			// Cut-through: zero dwell time in the buffer.
@@ -155,7 +159,11 @@ func (s *swState) depart(e *bufEntry) {
 // servePortEvent is the typed kernel event backing kickPort: a0 is the
 // swState, i0 the output LinkID.
 func servePortEvent(a0, a1 any, i0 int64) {
-	a0.(*swState).servePort(topology.LinkID(i0))
+	s := a0.(*swState)
+	if p := s.net.probe; p != nil {
+		p.Event(obs.EvPortService)
+	}
+	s.servePort(topology.LinkID(i0))
 }
 
 // kickPort schedules a service attempt for an output port (contention
@@ -200,6 +208,9 @@ func (s *swState) servePort(link topology.LinkID) {
 	copy(s.buffered[best:], s.buffered[best+1:])
 	s.buffered[n] = bufEntry{}
 	s.buffered = s.buffered[:n]
+	if p := s.net.probe; p != nil {
+		p.BufferOcc(len(s.buffered))
+	}
 	s.nextFree[pos] = s.net.k.Now() + s.net.cfg.SerTime
 	s.depart(&e)
 	// The buffer shrank: a stalled propagation may now be possible.
@@ -229,6 +240,7 @@ func (s *swState) tryPropagate() {
 				break
 			}
 		}
+		stalledOnTxn := false
 		if ok {
 			for i := range s.buffered {
 				if s.buffered[i].slack == 0 {
@@ -236,11 +248,20 @@ func (s *swState) tryPropagate() {
 					// past zero-slack transactions: stall GT until the
 					// transaction departs.
 					ok = false
+					stalledOnTxn = true
 					break
 				}
 			}
 		}
 		if !ok {
+			// A token-wait episode starts when propagation is blocked by
+			// a zero-slack buffered transaction (not by a mere token
+			// shortage) and ends at the next successful propagation.
+			if stalledOnTxn {
+				if p := s.net.probe; p != nil {
+					p.TokenStall(s.id, int64(s.net.k.Now()))
+				}
+			}
 			return
 		}
 		for i := range s.tokens {
@@ -250,6 +271,9 @@ func (s *swState) tryPropagate() {
 			s.buffered[i].slack--
 		}
 		s.props++
+		if p := s.net.probe; p != nil {
+			p.TokenAdvance(s.id, int64(s.net.k.Now()))
+		}
 		for _, out := range s.out {
 			s.net.sendToken(out)
 		}
