@@ -24,6 +24,14 @@
 // internal/service); run, grid, and sweep accept -cache DIR to hit the
 // same store locally, so repeated figure reproduction skips every
 // already-computed cell.
+//
+// serve -peers federates N nodes into one logical service: a static
+// consistent-hash ring shards the result store across the member list,
+// misses are forwarded to their owning peer (identical submissions
+// entering anywhere singleflight onto one simulation), hot results
+// replicate into the entry node's LRU, and an unreachable peer degrades
+// to local compute. submit -retry N rides out 429/503 responses and
+// restarts with exponential backoff, honoring Retry-After.
 package main
 
 import (

@@ -10,9 +10,11 @@ import (
 	"net"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"tsnoop/internal/cluster"
 	"tsnoop/internal/service"
 )
 
@@ -25,11 +27,24 @@ import (
 //
 // Endpoints: POST /v1/runs (Spec JSON -> Run JSON), POST /v1/grids and
 // /v1/sweeps (NDJSON streams in presentation order), GET /v1/jobs[/{id}]
-// (progress and phase spans), GET /healthz, GET /metrics (Prometheus
-// text exposition). Requests are access-logged as structured records on
-// stderr. SIGTERM or Ctrl-C drains gracefully: in-flight requests
-// finish (and their results land in the store) before the process
-// exits.
+// (progress and phase spans), GET /healthz, GET /readyz, GET /metrics
+// (Prometheus text exposition). Requests are access-logged as
+// structured records on stderr. SIGTERM or Ctrl-C drains gracefully:
+// /readyz flips to 503 first, then in-flight requests finish (and
+// their results land in the store) before the process exits.
+//
+// -peers federates N serve processes into one logical service:
+//
+//	tsnoop serve -addr :8191 -peers host1:8191,host2:8192,host3:8193 -self host1:8191
+//
+// A static consistent-hash ring shards the canonical key space across
+// the member list (which must be identical on every node); misses owned
+// by a peer are forwarded there, so identical submissions entering
+// anywhere singleflight onto one simulation, and the answer replicates
+// into the entry node's LRU on the way back. A dead peer degrades to
+// local compute — streams never fail. -max-cells bounds this node's
+// in-flight streamed cells; past it /v1/grids and /v1/sweeps answer
+// 429 with Retry-After.
 var serveCmd = &command{
 	name:    "serve",
 	summary: "serve experiments over HTTP (content-addressed store + dedup queue)",
@@ -39,20 +54,41 @@ var serveCmd = &command{
 		lru := fs.Int("lru", 0, "in-memory result cache entries (0 = default)")
 		workers := fs.Int("workers", 0, "concurrent simulations across all jobs (0 = one per CPU)")
 		drain := fs.Duration("drain", 30*time.Second, "graceful shutdown grace period")
+		peers := fs.String("peers", "", "comma-separated cluster member list (host:port), identical on every node; empty = single node")
+		self := fs.String("self", "", "this node's entry in -peers (default: the -addr value)")
+		maxCells := fs.Int("max-cells", 0, "in-flight streamed-cell budget before 429 (0 = default, negative = unlimited)")
 		return func(ctx context.Context, stdout, stderr io.Writer) error {
 			// The interrupt context from main covers Ctrl-C; production
 			// supervisors send SIGTERM, so drain on that too.
 			ctx, stop := signal.NotifyContext(ctx, syscall.SIGTERM)
 			defer stop()
+			var cl *cluster.Cluster
+			if *peers != "" {
+				me := *self
+				if me == "" {
+					me = *addr
+				}
+				var err error
+				cl, err = cluster.New(cluster.Config{
+					Self:    me,
+					Members: strings.Split(*peers, ","),
+					Client:  cluster.NewHTTPClient(cluster.DefaultTimeouts()),
+				})
+				if err != nil {
+					return fmt.Errorf("serve: %w", err)
+				}
+			}
 			// Jobs run on their own lifecycle: a disconnected client must
 			// not cancel a simulation other clients joined, and drain lets
 			// in-flight work finish.
 			sv, err := service.New(service.Config{
-				Dir:     *cacheDir,
-				LRU:     *lru,
-				Workers: *workers,
-				Version: versionString(),
-				Logger:  slog.New(slog.NewTextHandler(stderr, nil)),
+				Dir:      *cacheDir,
+				LRU:      *lru,
+				Workers:  *workers,
+				Version:  versionString(),
+				Logger:   slog.New(slog.NewTextHandler(stderr, nil)),
+				Cluster:  cl,
+				MaxCells: *maxCells,
 			})
 			if err != nil {
 				return err
@@ -66,6 +102,11 @@ var serveCmd = &command{
 			if *cacheDir != "" {
 				fmt.Fprintf(stderr, "tsnoop: results persist in %s\n", *cacheDir)
 			}
+			if cl != nil {
+				fmt.Fprintf(stderr, "tsnoop: cluster member %s of %s\n",
+					cl.Self(), strings.Join(cl.Members(), ","))
+			}
+			sv.SetReady(true, "")
 			errc := make(chan error, 1)
 			go func() { errc <- srv.Serve(ln) }()
 			select {
@@ -73,6 +114,9 @@ var serveCmd = &command{
 				return err
 			case <-ctx.Done():
 			}
+			// Flip /readyz first so balancers stop routing here before
+			// the listener closes.
+			sv.SetReady(false, "draining")
 			fmt.Fprintln(stderr, "tsnoop: draining (in-flight experiments finish first)")
 			sctx, cancel := context.WithTimeout(context.Background(), *drain)
 			defer cancel()

@@ -8,9 +8,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
+	"tsnoop/internal/cluster"
 	"tsnoop/internal/spec"
 )
 
@@ -23,6 +27,13 @@ import (
 //	tsnoop submit -addr http://localhost:8177 -benchmark OLTP -seeds 3
 //	tsnoop submit -mode grid -network torus -benchmark ""      # all five
 //	tsnoop submit -mode sweep -sweep ablation -benchmark barnes
+//	tsnoop submit -retry 5 -benchmark barnes    # ride out 429s and restarts
+//
+// -retry N re-submits up to N times on connection errors and on 429 /
+// 503 responses (a loaded or draining server), with exponential backoff
+// plus jitter, honoring a Retry-After header when the server sends one.
+// Retries happen only before the stream starts, so output is never
+// duplicated.
 var submitCmd = &command{
 	name:      "submit",
 	summary:   "submit an experiment to a tsnoop server",
@@ -34,6 +45,7 @@ var submitCmd = &command{
 		mode := fs.String("mode", "run", "what to submit: run (one Run JSON), grid, or sweep (NDJSON streams)")
 		sweepKind := fs.String("sweep", "ablation", "sweep kind for -mode sweep")
 		timeout := fs.Duration("timeout", 0, "request timeout (0 = none)")
+		retry := fs.Int("retry", 0, "re-submissions on connection errors, 429, and 503 (0 = fail fast)")
 		return func(ctx context.Context, stdout, stderr io.Writer) error {
 			var path string
 			var body []byte
@@ -66,24 +78,98 @@ var submitCmd = &command{
 				ctx, cancel = context.WithTimeout(ctx, *timeout)
 				defer cancel()
 			}
-			req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-				strings.TrimRight(*addr, "/")+path, bytes.NewReader(body))
+			resp, err := submitWithRetry(ctx, stderr,
+				strings.TrimRight(*addr, "/")+path, body, *retry)
 			if err != nil {
 				return err
 			}
-			req.Header.Set("Content-Type", "application/json")
-			resp, err := http.DefaultClient.Do(req)
-			if err != nil {
-				return fmt.Errorf("submit: %w", err)
-			}
 			defer resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				return fmt.Errorf("submit: %s: %s", resp.Status, readServerError(resp.Body))
-			}
 			reportDisposition(stderr, resp)
 			return streamResponse(stdout, resp.Body)
 		}
 	},
+}
+
+// submitClient has explicit timeouts everywhere the default client has
+// none: a quick dial bound (so a dead server fails fast) and a
+// response-header bound generous enough to cover a cold simulation —
+// the server sends no headers until the run completes.
+var submitClient = cluster.NewHTTPClient(cluster.SubmitTimeouts())
+
+// retryableStatus reports whether a status is worth re-submitting: 429
+// is the server's load-shedding gate, 503 a draining or restarting
+// node. Anything else (including 500) reflects the request, not the
+// moment.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// submitWithRetry posts body to url, re-submitting up to retries times
+// on connection errors and retryable statuses. Backoff doubles from
+// half a second (capped at 30s) with jitter so a restarted server is
+// not met by synchronized clients; a Retry-After header (seconds or
+// HTTP-date) overrides the computed delay. On success the response is
+// returned with its body unread, status 200 guaranteed.
+func submitWithRetry(ctx context.Context, stderr io.Writer, url string, body []byte, retries int) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := submitClient.Do(req)
+		var note string
+		var wait time.Duration
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("submit: %w", err)
+			}
+			note = err.Error()
+		case resp.StatusCode == http.StatusOK:
+			return resp, nil
+		default:
+			note = fmt.Sprintf("%s: %s", resp.Status, readServerError(resp.Body))
+			wait = retryAfter(resp.Header.Get("Retry-After"))
+			retryable := retryableStatus(resp.StatusCode)
+			resp.Body.Close()
+			if !retryable {
+				return nil, fmt.Errorf("submit: %s", note)
+			}
+		}
+		if attempt >= retries {
+			return nil, fmt.Errorf("submit: %s", note)
+		}
+		if wait <= 0 {
+			// 500ms, 1s, 2s, ... capped at 30s, plus up to 50% jitter.
+			wait = min(500*time.Millisecond<<attempt, 30*time.Second)
+			wait += rand.N(wait / 2)
+		}
+		fmt.Fprintf(stderr, "submit: %s; retrying in %s (%d left)\n",
+			note, wait.Round(time.Millisecond), retries-attempt)
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("submit: %w", ctx.Err())
+		}
+	}
+}
+
+// retryAfter parses a Retry-After header: delay seconds or an HTTP
+// date. Zero means absent or unparseable.
+func retryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // reportDisposition explains how the server answered a /v1/runs request.

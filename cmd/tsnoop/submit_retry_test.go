@@ -1,0 +1,118 @@
+package main
+
+// Tests for submit -retry: transient 429/503 responses and connection
+// errors are retried with backoff (honoring Retry-After), permanent
+// errors are not.
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// flakyServer answers failCode (with Retry-After: 0 so tests stay
+// fast) for the first fails requests, then 200 with a Run body.
+func flakyServer(t *testing.T, failCode, fails int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(fails) {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"try later"}`, failCode)
+			return
+		}
+		w.Header().Set("X-Tsnoop-Cache", "hit")
+		w.Write([]byte(`{"runtime_ps":7}` + "\n"))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func TestSubmitRetryRidesOutTransientErrors(t *testing.T) {
+	for _, code := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		srv, calls := flakyServer(t, code, 2)
+		var out, errb bytes.Buffer
+		err := submitCmd.exec(context.Background(),
+			[]string{"-addr", srv.URL, "-benchmark", "barnes", "-nodes", "4", "-retry", "3"},
+			&out, &errb)
+		if err != nil {
+			t.Fatalf("submit -retry 3 against two %ds: %v\nstderr: %s", code, err, errb.String())
+		}
+		if got := calls.Load(); got != 3 {
+			t.Fatalf("server saw %d attempts, want 3", got)
+		}
+		if !strings.Contains(out.String(), `"runtime_ps":7`) {
+			t.Fatalf("stdout = %q, want the Run body", out.String())
+		}
+		if !strings.Contains(errb.String(), "retrying in") {
+			t.Fatalf("stderr did not report the retries:\n%s", errb.String())
+		}
+	}
+}
+
+func TestSubmitWithoutRetryFailsFast(t *testing.T) {
+	srv, calls := flakyServer(t, http.StatusServiceUnavailable, 1)
+	err := submitCmd.exec(context.Background(),
+		[]string{"-addr", srv.URL, "-benchmark", "barnes", "-nodes", "4"},
+		&bytes.Buffer{}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "try later") {
+		t.Fatalf("submit without -retry = %v, want the server's 503 error", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts without -retry, want 1", got)
+	}
+}
+
+// A 400 reflects the request, not the moment: -retry must not repeat it.
+func TestSubmitRetrySkipsPermanentErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad spec"}`, http.StatusBadRequest)
+	}))
+	t.Cleanup(srv.Close)
+	err := submitCmd.exec(context.Background(),
+		[]string{"-addr", srv.URL, "-benchmark", "barnes", "-nodes", "4", "-retry", "5"},
+		&bytes.Buffer{}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "bad spec") {
+		t.Fatalf("submit of a rejected spec = %v, want the 400 error", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a 400, want 1", got)
+	}
+}
+
+// retryAfter accepts both header forms and rejects garbage.
+func TestRetryAfterParsing(t *testing.T) {
+	if d := retryAfter("3"); d.Seconds() != 3 {
+		t.Errorf("retryAfter(3) = %s", d)
+	}
+	if d := retryAfter(""); d != 0 {
+		t.Errorf("retryAfter empty = %s", d)
+	}
+	if d := retryAfter("soon"); d != 0 {
+		t.Errorf("retryAfter garbage = %s", d)
+	}
+	if d := retryAfter("Mon, 02 Jan 2006 15:04:05 GMT"); d != 0 {
+		t.Errorf("retryAfter past date = %s, want 0", d)
+	}
+}
+
+// The serve readiness gate over the CLI: /readyz answers 200 once the
+// server announces itself.
+func TestServeReadyz(t *testing.T) {
+	url, shutdown := startServer(t)
+	defer shutdown()
+	resp, err := http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after serve announced = %s, want 200", resp.Status)
+	}
+}

@@ -49,6 +49,9 @@ var hotPackages = []string{
 	"tsnoop/internal/cache",
 	"tsnoop/internal/coherence",
 	"tsnoop/internal/obs",
+	// cluster code never schedules kernel events today; covering it means
+	// any future coupling to the kernel inherits the contract on day one.
+	"tsnoop/internal/cluster",
 }
 
 const hotPrefix = "tsnoop/internal/protocol/"

@@ -16,5 +16,6 @@ func TestAllocFree(t *testing.T) {
 		"tsnoop/internal/tsnet",
 		"tsnoop/internal/obs",
 		"tsnoop/internal/service",
+		"tsnoop/internal/cluster",
 	)
 }

@@ -1,0 +1,21 @@
+// Fixture for the allocfree analyzer's cluster coverage: the package
+// path is inside the hot set, so any future coupling to the kernel's
+// scheduling API inherits the zero-alloc contract — a legacy closure
+// schedule is flagged here exactly as it would be in the simulator.
+package cluster
+
+import "tsnoop/internal/sim"
+
+func replicate(k *sim.Kernel) {
+	k.After(1, func() {}) // want `closure scheduled through the legacy Kernel.After path`
+}
+
+// Plain code that never touches the kernel is not the analyzer's
+// business, maps and all.
+func route(counters map[string]int64) int64 {
+	var total int64
+	for _, v := range counters {
+		total += v
+	}
+	return total
+}

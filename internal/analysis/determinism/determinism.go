@@ -20,6 +20,13 @@
 //     nondeterminism is confined to the one package whose ordered
 //     fan-in machinery (parallel.Stream) is equivalence-tested at every
 //     worker count.
+//
+// internal/cluster sits inside the contract too — forwarding a spec to
+// a peer must return the exact bytes local compute would have produced
+// — but it legitimately paces retries against real time. Those uses
+// carry //determinism:wallclock (and a hypothetical goroutine,
+// //determinism:goroutine) markers asserting the nondeterminism never
+// reaches result bytes; unmarked uses are still flagged.
 package determinism
 
 import (
@@ -40,6 +47,14 @@ var Analyzer = &analysis.Analyzer{
 // Marker documents a map range whose body is order-insensitive by
 // construction (e.g. writes to disjoint keyed destinations).
 const Marker = "//determinism:unordered"
+
+// WallClockMarker documents a wall-clock read whose value provably
+// never shapes output bytes (e.g. retry pacing in internal/cluster).
+const WallClockMarker = "//determinism:wallclock"
+
+// GoroutineMarker documents a goroutine whose scheduling provably
+// never reorders output (e.g. a fire-and-forget counter flush).
+const GoroutineMarker = "//determinism:goroutine"
 
 // parallelPath is the one package allowed to create goroutines: its
 // ordered fan-in is the determinism boundary.
@@ -65,6 +80,7 @@ var deterministic = []string{
 	"tsnoop/internal/trace",
 	"tsnoop/internal/spec",
 	"tsnoop/internal/core",
+	"tsnoop/internal/cluster",
 }
 
 const protocolPrefix = "tsnoop/internal/protocol/"
@@ -130,8 +146,10 @@ func (v *visitor) Visit(n ast.Node) ast.Visitor {
 	case *ast.FuncDecl, *ast.FuncLit:
 		isFunc = true
 	case *ast.GoStmt:
-		pass.Reportf(n.Pos(),
-			"goroutine created outside %s: scheduling nondeterminism must flow through the ordered worker pool", parallelPath)
+		if !pass.MarkerAt(n.Pos(), GoroutineMarker) {
+			pass.Reportf(n.Pos(),
+				"goroutine created outside %s: scheduling nondeterminism must flow through the ordered worker pool, or carry %s", parallelPath, GoroutineMarker)
+		}
 	case *ast.RangeStmt:
 		v.checkRange(n)
 	case *ast.SelectorExpr:
@@ -179,9 +197,9 @@ func checkUse(pass *analysis.Pass, ident *ast.Ident) {
 	}
 	switch fn.Pkg().Path() {
 	case "time":
-		if wallClock[fn.Name()] {
+		if wallClock[fn.Name()] && !pass.MarkerAt(ident.Pos(), WallClockMarker) {
 			pass.Reportf(ident.Pos(),
-				"time.%s reads the wall clock; simulated time is sim.Time and must fully determine every output byte", fn.Name())
+				"time.%s reads the wall clock; simulated time is sim.Time and must fully determine every output byte (mark provably output-free uses with %s)", fn.Name(), WallClockMarker)
 		}
 	case "math/rand", "math/rand/v2":
 		sig, isSig := fn.Type().(*types.Signature)

@@ -9,12 +9,14 @@ import (
 
 // TestDeterminism covers a deterministic-core fixture (wall clock,
 // global math/rand, goroutines, map ranges, and the sanctioned forms of
-// each), the parallel-package goroutine exemption, and a service
-// fixture proving packages outside the core are not analyzed.
+// each), the parallel-package goroutine exemption, a service fixture
+// proving packages outside the core are not analyzed, and a cluster
+// fixture exercising the wallclock/goroutine suppression markers.
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, "testdata", determinism.Analyzer,
 		"tsnoop/internal/tsnet",
 		"tsnoop/internal/parallel",
 		"tsnoop/internal/service",
+		"tsnoop/internal/cluster",
 	)
 }

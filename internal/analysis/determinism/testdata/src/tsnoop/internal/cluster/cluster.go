@@ -1,0 +1,34 @@
+// Fixture for the determinism analyzer's cluster coverage: the package
+// path is inside the deterministic contract, so unmarked wall-clock
+// reads and goroutines are flagged, while uses carrying the
+// //determinism:wallclock and //determinism:goroutine markers —
+// asserting the nondeterminism never reaches result bytes — stay
+// silent.
+package cluster
+
+import "time"
+
+func unmarkedClock() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+// Retry pacing: the timer's firing instant never shapes output bytes.
+func markedBackoff(d time.Duration) {
+	//determinism:wallclock retry pacing never reaches simulation output
+	t := time.NewTimer(d)
+	<-t.C
+}
+
+func markedSameLine(d time.Duration) <-chan time.Time {
+	return time.After(d) //determinism:wallclock shed hint only
+}
+
+func unmarkedSpawn(f func()) {
+	go f() // want `goroutine created outside tsnoop/internal/parallel`
+}
+
+// A fire-and-forget flush whose scheduling cannot reorder output.
+func markedSpawn(f func()) {
+	//determinism:goroutine counter flush, no output dependency
+	go f()
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultMaxCells is the per-node in-flight streamed-cell budget when
+// the serve flag leaves it at zero. A cell is one grid cell or sweep
+// point admitted on /v1/grids or /v1/sweeps; 4096 in flight is far
+// beyond what one node's simulation pool can usefully queue, so the
+// default only trips under genuine overload.
+const DefaultMaxCells = 4096
+
+// Admission is the per-node backpressure gate for streaming endpoints:
+// each stream declares how many cells it will run, and a node already
+// at its budget refuses new streams with 429 + Retry-After instead of
+// queueing unboundedly. An idle node always admits — a single stream
+// larger than the whole budget must be serviceable, it just gets the
+// node to itself.
+type Admission struct {
+	mu       sync.Mutex
+	budget   int // <= 0: unlimited
+	inflight int
+	shed     map[string]int64
+	total    int64
+}
+
+// NewAdmission builds the gate. budget <= 0 disables shedding; routes
+// pre-register shed counters so stats render a fixed series set.
+func NewAdmission(budget int, routes ...string) *Admission {
+	a := &Admission{budget: budget, shed: make(map[string]int64)}
+	for _, r := range routes {
+		a.shed[r] = 0
+	}
+	return a
+}
+
+// Admit asks to stream n cells on route. When the node has capacity
+// (or is idle), the cells are reserved and the returned release (safe
+// to call more than once) frees them; otherwise the shed is counted
+// and ok is false — the caller answers 429 with RetryAfterSeconds.
+func (a *Admission) Admit(route string, n int) (release func(), ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.budget > 0 && a.inflight > 0 && a.inflight+n > a.budget {
+		a.shed[route]++
+		a.total++
+		return nil, false
+	}
+	a.inflight += n
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.inflight -= n
+			a.mu.Unlock()
+		})
+	}, true
+}
+
+// RetryAfterSeconds estimates when capacity frees: proportional to how
+// far over budget the node is, at least 1, capped at 60 so a client
+// never parks for minutes on a transient spike.
+func (a *Admission) RetryAfterSeconds() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.budget <= 0 {
+		return 1
+	}
+	s := 1 + a.inflight/a.budget
+	if s > 60 {
+		s = 60
+	}
+	return s
+}
+
+// RouteShed is one route's shed counter.
+type RouteShed struct {
+	Route string `json:"route"`
+	Count int64  `json:"count"`
+}
+
+// AdmissionStats is a point-in-time snapshot of the gate.
+type AdmissionStats struct {
+	// Budget is the configured cell budget (0 = unlimited).
+	Budget int `json:"budget"`
+	// Inflight is the number of streamed cells currently admitted.
+	Inflight int `json:"inflight"`
+	// ShedTotal counts refused streams across all routes.
+	ShedTotal int64 `json:"shed_total"`
+	// Shed is per-route, sorted by route for deterministic rendering.
+	Shed []RouteShed `json:"shed"`
+}
+
+// Stats snapshots the gate's counters.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sheds := make([]RouteShed, 0, len(a.shed))
+	for route, n := range a.shed {
+		sheds = append(sheds, RouteShed{Route: route, Count: n})
+	}
+	sort.Slice(sheds, func(i, j int) bool { return sheds[i].Route < sheds[j].Route })
+	return AdmissionStats{Budget: a.budget, Inflight: a.inflight, ShedTotal: a.total, Shed: sheds}
+}

@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ForwardedHeader marks a request that was already routed by a peer's
+// ring. A server answering a forwarded request always computes locally
+// — whatever two rings might momentarily disagree about (mid-rollout
+// member lists), a forward can never loop.
+const ForwardedHeader = "X-Tsnoop-Forwarded"
+
+// cacheHeader is the service's cache-disposition response header; the
+// forwarding client relays it so the entry node can report remote hits.
+const cacheHeader = "X-Tsnoop-Cache"
+
+// maxForwardBody bounds a forwarded response body: a stats.Run JSON is
+// a few kilobytes, so 64 MiB is "unbounded in practice" while still
+// making a misbehaving peer an error instead of an OOM.
+const maxForwardBody = 64 << 20
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Self is this node's address exactly as it appears in Members.
+	Self string
+	// Members is the full static ring (host:port each, including Self).
+	Members []string
+	// Replicas is the virtual nodes per member (0 = DefaultReplicas).
+	Replicas int
+	// Client performs forwards (nil = NewHTTPClient(DefaultTimeouts())).
+	Client *http.Client
+	// Retries is how many times a failed forward is retried before the
+	// caller degrades to local compute (0 = 1 retry; negative = none).
+	Retries int
+	// Backoff is the delay before the first retry, doubling per attempt
+	// (0 = 100ms).
+	Backoff time.Duration
+}
+
+// peerCounters accumulate one peer's forwarding traffic.
+type peerCounters struct {
+	forwards int64 // misses forwarded to this peer
+	hits     int64 // forwards the peer answered from its store
+	errors   int64 // forwards that failed every attempt
+}
+
+// Cluster is one node's view of the fleet: the shared ring plus a
+// forwarding client and its per-peer counters. All methods are safe
+// for concurrent use.
+type Cluster struct {
+	ring    *Ring
+	client  *http.Client
+	retries int
+	backoff time.Duration
+
+	mu         sync.Mutex
+	peers      map[string]*peerCounters
+	replicated int64
+}
+
+// New builds a cluster node from the static member list.
+func New(cfg Config) (*Cluster, error) {
+	ring, err := NewRing(cfg.Self, cfg.Members, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	client := cfg.Client
+	if client == nil {
+		client = NewHTTPClient(DefaultTimeouts())
+	}
+	retries := cfg.Retries
+	if retries == 0 {
+		retries = 1
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	backoff := cfg.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	c := &Cluster{ring: ring, client: client, retries: retries, backoff: backoff,
+		peers: make(map[string]*peerCounters)}
+	// Pre-register every peer so Stats (and the /metrics exposition) is
+	// a fixed, deterministic series set from the first scrape.
+	for _, m := range ring.Members() {
+		if m != ring.Self() {
+			c.peers[m] = &peerCounters{}
+		}
+	}
+	return c, nil
+}
+
+// Self returns this node's ring address.
+func (c *Cluster) Self() string { return c.ring.Self() }
+
+// Members returns the sorted static member list.
+func (c *Cluster) Members() []string { return c.ring.Members() }
+
+// Route returns the member owning key and whether it is a remote peer
+// (false: this node owns the shard and must compute locally).
+func (c *Cluster) Route(key string) (peer string, remote bool) {
+	owner := c.ring.Owner(key)
+	return owner, owner != c.ring.Self()
+}
+
+// Forward sends one spec to its owning peer's POST /v1/runs and
+// returns the owner's canonical Run JSON (trailing newline stripped,
+// so the bytes are identical to a local Result.Data) plus the owner's
+// cache disposition ("hit", "join" or "miss"). Connection errors and
+// 5xx/429 responses are retried with exponential backoff; a forward
+// that fails every attempt is counted on the peer and returned as an
+// error for the caller to degrade on — the repo-wide rule is that a
+// dead peer costs a local simulation, never a failed stream.
+func (c *Cluster) Forward(ctx context.Context, peer string, specJSON []byte) (data []byte, disposition string, err error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			if serr := sleep(ctx, c.backoff<<(attempt-1)); serr != nil {
+				break
+			}
+		}
+		data, disp, ferr, retryable := c.forwardOnce(ctx, peer, specJSON)
+		if ferr == nil {
+			c.recordForward(peer, disp)
+			return data, disp, nil
+		}
+		lastErr = ferr
+		if !retryable || ctx.Err() != nil {
+			break
+		}
+	}
+	c.recordError(peer)
+	return nil, "", lastErr
+}
+
+// forwardOnce performs a single forwarding attempt. retryable
+// classifies the failure: connection trouble and 5xx/429 responses may
+// clear up, 4xx responses will not.
+func (c *Cluster) forwardOnce(ctx context.Context, peer string, specJSON []byte) (data []byte, disposition string, err error, retryable bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+peer+"/v1/runs", bytes.NewReader(specJSON))
+	if err != nil {
+		return nil, "", fmt.Errorf("cluster: forward to %s: %w", peer, err), false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, c.ring.Self())
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, "", fmt.Errorf("cluster: forward to %s: %w", peer, err), true
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<14))
+		retry := resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
+		return nil, "", fmt.Errorf("cluster: peer %s answered %s: %s",
+			peer, resp.Status, strings.TrimSpace(string(msg))), retry
+	}
+	data, err = io.ReadAll(io.LimitReader(resp.Body, maxForwardBody+1))
+	if err != nil {
+		return nil, "", fmt.Errorf("cluster: reading %s response: %w", peer, err), true
+	}
+	if len(data) > maxForwardBody {
+		return nil, "", fmt.Errorf("cluster: peer %s response exceeds %d bytes", peer, maxForwardBody), false
+	}
+	// The runs handler terminates the JSON document with one newline;
+	// strip it so forwarded bytes equal a local Result.Data exactly.
+	data = bytes.TrimSuffix(data, []byte("\n"))
+	return data, resp.Header.Get(cacheHeader), nil, false
+}
+
+// Replicate counts one peer result copied into the local LRU front.
+func (c *Cluster) Replicate() {
+	c.mu.Lock()
+	c.replicated++
+	c.mu.Unlock()
+}
+
+func (c *Cluster) counters(peer string) *peerCounters {
+	ctr, ok := c.peers[peer]
+	if !ok {
+		ctr = &peerCounters{}
+		c.peers[peer] = ctr
+	}
+	return ctr
+}
+
+func (c *Cluster) recordForward(peer, disposition string) {
+	c.mu.Lock()
+	ctr := c.counters(peer)
+	ctr.forwards++
+	if disposition == "hit" {
+		ctr.hits++
+	}
+	c.mu.Unlock()
+}
+
+func (c *Cluster) recordError(peer string) {
+	c.mu.Lock()
+	ctr := c.counters(peer)
+	ctr.forwards++
+	ctr.errors++
+	c.mu.Unlock()
+}
+
+// PeerStats is one peer's forwarding counters.
+type PeerStats struct {
+	Peer string `json:"peer"`
+	// Forwards counts misses routed to this peer (including failed
+	// attempts' final outcomes, not per-retry).
+	Forwards int64 `json:"forwards"`
+	// Hits counts forwards the peer answered from its store — the
+	// remote-cache-hit signal the CI smoke asserts on.
+	Hits int64 `json:"hits"`
+	// Errors counts forwards that failed every attempt and degraded to
+	// local compute (the cluster_forward_error signal).
+	Errors int64 `json:"errors"`
+}
+
+// Stats is a point-in-time snapshot of one node's cluster counters.
+type Stats struct {
+	Self    string   `json:"self"`
+	Members []string `json:"members"`
+	// Replicated counts peer results copied into the local LRU front.
+	Replicated int64 `json:"replicated"`
+	// Peers is sorted by peer address, so renderings are deterministic.
+	Peers []PeerStats `json:"peers"`
+}
+
+// Stats snapshots the cluster counters.
+func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ps := make([]PeerStats, 0, len(c.peers))
+	for peer, ctr := range c.peers {
+		ps = append(ps, PeerStats{Peer: peer, Forwards: ctr.forwards, Hits: ctr.hits, Errors: ctr.errors})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Peer < ps[j].Peer })
+	return Stats{Self: c.ring.Self(), Members: c.ring.Members(), Replicated: c.replicated, Peers: ps}
+}

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// twoNodeConfig builds a cluster whose only peer is the given test
+// server, with fast retries so failure tests stay quick.
+func twoNodeConfig(t *testing.T, peerAddr string, retries int) *Cluster {
+	t.Helper()
+	self := "127.0.0.1:1"
+	c, err := New(Config{
+		Self:    self,
+		Members: []string{self, peerAddr},
+		Client:  NewHTTPClient(DefaultTimeouts()),
+		Retries: retries,
+		Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// A forward posts the spec to the peer's /v1/runs with the forwarded
+// marker, strips the response's trailing newline, and relays the cache
+// disposition.
+func TestForwardRoundTrip(t *testing.T) {
+	var gotForwarded atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/runs" {
+			t.Errorf("forward hit %s, want /v1/runs", r.URL.Path)
+		}
+		gotForwarded.Store(r.Header.Get(ForwardedHeader))
+		w.Header().Set(cacheHeader, "hit")
+		w.Write([]byte(`{"runtime_ps":7}` + "\n"))
+	}))
+	defer srv.Close()
+	peer := strings.TrimPrefix(srv.URL, "http://")
+	c := twoNodeConfig(t, peer, -1)
+
+	data, disp, err := c.Forward(context.Background(), peer, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"runtime_ps":7}` {
+		t.Errorf("forwarded data = %q (trailing newline must be stripped)", data)
+	}
+	if disp != "hit" {
+		t.Errorf("disposition = %q, want hit", disp)
+	}
+	if got := gotForwarded.Load(); got != c.Self() {
+		t.Errorf("forwarded marker = %v, want %s", got, c.Self())
+	}
+	st := c.Stats()
+	if len(st.Peers) != 1 || st.Peers[0].Forwards != 1 || st.Peers[0].Hits != 1 || st.Peers[0].Errors != 0 {
+		t.Errorf("stats after hit = %+v", st.Peers)
+	}
+}
+
+// Connection errors retry with backoff and finally surface as an error
+// plus an error counter — the caller's cue to compute locally.
+func TestForwardRetriesThenDegrades(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+	peer := strings.TrimPrefix(srv.URL, "http://")
+
+	// Two retries ride out the two 503s.
+	c := twoNodeConfig(t, peer, 2)
+	if _, _, err := c.Forward(context.Background(), peer, []byte(`{}`)); err != nil {
+		t.Fatalf("forward with 2 retries: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("peer saw %d attempts, want 3", got)
+	}
+
+	// A dead peer fails every attempt and lands on the error counter.
+	srv.Close()
+	if _, _, err := c.Forward(context.Background(), peer, []byte(`{}`)); err == nil {
+		t.Fatal("forward to a closed peer succeeded")
+	}
+	st := c.Stats()
+	if st.Peers[0].Errors != 1 {
+		t.Fatalf("error counter = %d, want 1 (stats: %+v)", st.Peers[0].Errors, st.Peers)
+	}
+}
+
+// A 400 from the peer is not retried: the spec will not get better.
+func TestForwardDoesNotRetryBadRequests(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad spec"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	peer := strings.TrimPrefix(srv.URL, "http://")
+	c := twoNodeConfig(t, peer, 3)
+	if _, _, err := c.Forward(context.Background(), peer, []byte(`{}`)); err == nil {
+		t.Fatal("forward of a rejected spec succeeded")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("peer saw %d attempts for a 400, want 1", got)
+	}
+}
+
+// A cancelled context stops the retry loop promptly.
+func TestForwardHonorsContext(t *testing.T) {
+	c := twoNodeConfig(t, "127.0.0.1:9", 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, _, err := c.Forward(ctx, "127.0.0.1:9", []byte(`{}`)); err == nil {
+		t.Fatal("forward with cancelled context succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled forward took %s", elapsed)
+	}
+}
+
+// Admission: an idle node admits anything, a busy node sheds past the
+// budget, and release restores capacity exactly once.
+func TestAdmission(t *testing.T) {
+	a := NewAdmission(4, "/v1/grids", "/v1/sweeps")
+
+	// Idle overshoot: one stream larger than the budget is admitted.
+	release, ok := a.Admit("/v1/grids", 10)
+	if !ok {
+		t.Fatal("idle node refused its first stream")
+	}
+	// Busy: anything more is shed.
+	if _, ok := a.Admit("/v1/sweeps", 1); ok {
+		t.Fatal("over-budget node admitted a second stream")
+	}
+	if s := a.RetryAfterSeconds(); s < 1 {
+		t.Fatalf("RetryAfterSeconds = %d, want >= 1", s)
+	}
+	release()
+	release() // idempotent
+	if got := a.Stats().Inflight; got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+	if _, ok := a.Admit("/v1/sweeps", 2); !ok {
+		t.Fatal("freed node refused a small stream")
+	}
+	st := a.Stats()
+	if st.ShedTotal != 1 || len(st.Shed) != 2 {
+		t.Fatalf("stats = %+v, want 1 shed across 2 pre-registered routes", st)
+	}
+	if st.Shed[0].Route != "/v1/grids" || st.Shed[0].Count != 0 ||
+		st.Shed[1].Route != "/v1/sweeps" || st.Shed[1].Count != 1 {
+		t.Fatalf("per-route shed = %+v", st.Shed)
+	}
+}
+
+// An unlimited gate never sheds.
+func TestAdmissionUnlimited(t *testing.T) {
+	a := NewAdmission(0)
+	for i := 0; i < 10; i++ {
+		if _, ok := a.Admit("/v1/grids", 1000); !ok {
+			t.Fatal("unlimited gate shed")
+		}
+	}
+}

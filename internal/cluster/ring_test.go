@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testMembers(n int) []string {
+	m := make([]string, n)
+	for i := range m {
+		m[i] = fmt.Sprintf("10.0.0.%d:8177", i+1)
+	}
+	return m
+}
+
+// Every member builds the same ring from the same list: ownership is a
+// pure function of the key, never of which node asks.
+func TestRingAgreesAcrossMembers(t *testing.T) {
+	members := testMembers(5)
+	rings := make([]*Ring, len(members))
+	for i, self := range members {
+		r, err := NewRing(self, members, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[i] = r
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("%064x", i)
+		owner := rings[0].Owner(key)
+		for _, r := range rings[1:] {
+			if got := r.Owner(key); got != owner {
+				t.Fatalf("key %s: ring of %s says %s, ring of %s says %s",
+					key[:8], rings[0].self, owner, r.self, got)
+			}
+		}
+		owns := 0
+		for _, r := range rings {
+			if r.Owns(key) {
+				owns++
+			}
+		}
+		if owns != 1 {
+			t.Fatalf("key %s owned by %d members, want exactly 1", key[:8], owns)
+		}
+	}
+}
+
+// The member list order must not matter: -peers a,b,c and -peers c,a,b
+// describe the same ring.
+func TestRingIgnoresMemberOrder(t *testing.T) {
+	members := testMembers(3)
+	shuffled := []string{members[2], members[0], members[1]}
+	a, err := NewRing(members[0], members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(members[0], shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("%064x", i*7)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %s: owner differs between orderings", key[:8])
+		}
+	}
+}
+
+// Virtual nodes keep the shards roughly balanced: with 3 members no
+// shard should hold more than half of a large key population.
+func TestRingBalance(t *testing.T) {
+	members := testMembers(3)
+	r, err := NewRing(members[0], members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("%064x", i))]++
+	}
+	for _, m := range members {
+		if counts[m] == 0 {
+			t.Fatalf("member %s owns no keys", m)
+		}
+		if counts[m] > keys/2 {
+			t.Fatalf("member %s owns %d/%d keys — ring is badly unbalanced", m, counts[m], keys)
+		}
+	}
+}
+
+// Removing one member only moves that member's keys: everything the
+// survivors owned stays put (the consistent-hashing property that
+// makes a rolling resize mostly cache-warm).
+func TestRingRemovalOnlyMovesVictimKeys(t *testing.T) {
+	members := testMembers(4)
+	full, err := NewRing(members[0], members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smaller, err := NewRing(members[0], members[:3], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := members[3]
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("%064x", i)
+		before := full.Owner(key)
+		after := smaller.Owner(key)
+		if before != victim && before != after {
+			t.Fatalf("key %s moved %s -> %s though %s stayed in the ring", key[:8], before, after, before)
+		}
+	}
+}
+
+func TestRingRejectsBadConfig(t *testing.T) {
+	members := testMembers(3)
+	cases := []struct {
+		name    string
+		self    string
+		members []string
+	}{
+		{"empty self", "", members},
+		{"self not a member", "10.9.9.9:1", members},
+		{"single member", members[0], members[:1]},
+		{"not host:port", "bare-host", []string{"bare-host", members[0]}},
+	}
+	for _, c := range cases {
+		if _, err := NewRing(c.self, c.members, 0); err == nil {
+			t.Errorf("%s: NewRing accepted %q / %v", c.name, c.self, c.members)
+		}
+	}
+}
+
+// Duplicate and whitespace-padded members collapse to one ring entry.
+func TestRingDeduplicatesMembers(t *testing.T) {
+	members := testMembers(2)
+	r, err := NewRing(members[0], []string{members[0], " " + members[1] + " ", members[1], members[0]}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Members(); len(got) != 2 {
+		t.Fatalf("members = %v, want 2 distinct", got)
+	}
+}

@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"tsnoop/internal/cluster"
 	"tsnoop/internal/harness"
 	"tsnoop/internal/spec"
 )
@@ -23,14 +25,21 @@ import (
 //	GET  /v1/jobs     all retained jobs
 //	GET  /v1/jobs/{id} one job's status, progress, and phase spans
 //	GET  /healthz     liveness: version, uptime, store and queue counters
+//	GET  /readyz      readiness: 503 before serve is up and during drain
 //	GET  /metrics     Prometheus text exposition (format 0.0.4)
 //
 // Every /v1/runs response carries X-Tsnoop-Key (the spec's canonical
 // hash) and X-Tsnoop-Cache: "hit" (served from the store), "join"
 // (attached to an identical in-flight job), or "miss" (computed by a
-// new job, named by X-Tsnoop-Job). Streaming responses are
-// application/x-ndjson; a mid-stream failure appends a final
-// {"error": "..."} line, since the status code has already been sent.
+// new job, named by X-Tsnoop-Job). On a cluster member, a run answered
+// by another node also carries X-Tsnoop-Remote naming the owning peer.
+// Streaming responses are application/x-ndjson; a mid-stream failure
+// appends a final {"error": "..."} line, since the status code has
+// already been sent.
+//
+// /v1/grids and /v1/sweeps pass an admission gate before streaming: a
+// node already at its in-flight cell budget answers 429 with a
+// Retry-After hint instead of committing to a stream it cannot serve.
 
 // maxBodyBytes bounds request bodies; a Spec is a few hundred bytes.
 const maxBodyBytes = 1 << 20
@@ -48,6 +57,7 @@ const (
 func NewHandler(sv *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", sv.handleHealthz)
+	mux.HandleFunc("GET /readyz", sv.handleReadyz)
 	mux.HandleFunc("GET /metrics", sv.handleMetrics)
 	mux.HandleFunc("POST /v1/runs", sv.handleRuns)
 	mux.HandleFunc("POST /v1/grids", sv.handleGrids)
@@ -110,7 +120,14 @@ func (sv *Service) handleRuns(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, err := sv.Do(r.Context(), s)
+	// A request forwarded by a peer must be answered here: the sender
+	// already routed it to this node's shard, and re-routing on a
+	// divergent member list would loop.
+	do := sv.Do
+	if r.Header.Get(cluster.ForwardedHeader) != "" {
+		do = sv.DoLocal
+	}
+	res, err := do(r.Context(), s)
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return
@@ -122,8 +139,24 @@ func (sv *Service) handleRuns(w http.ResponseWriter, r *http.Request) {
 	if res.JobID != "" {
 		h.Set("X-Tsnoop-Job", res.JobID)
 	}
+	if res.Remote != "" {
+		h.Set("X-Tsnoop-Remote", res.Remote)
+	}
 	w.Write(res.Data)
 	io.WriteString(w, "\n")
+}
+
+// admit passes a streaming request through the cell-budget gate. On a
+// shed it answers 429 with a Retry-After hint and returns ok=false; on
+// admission the caller must invoke release when the stream ends.
+func (sv *Service) admit(w http.ResponseWriter, route string, n int) (release func(), ok bool) {
+	release, ok = sv.shed.Admit(route, n)
+	if !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(sv.shed.RetryAfterSeconds()))
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Errorf("service: %d in-flight cells at budget, retry later", sv.shed.Stats().Inflight))
+	}
+	return release, ok
 }
 
 // streamNDJSON drives a result stream into an NDJSON response, flushing
@@ -162,7 +195,13 @@ func (sv *Service) handleGrids(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	streamNDJSON(w, sv.StreamGrid(r.Context(), harness.FromSpec(s), s.Network))
+	e := harness.FromSpec(s)
+	release, ok := sv.admit(w, "/v1/grids", len(e.Cells(s.Network)))
+	if !ok {
+		return
+	}
+	defer release()
+	streamNDJSON(w, sv.StreamGrid(r.Context(), e, s.Network))
 }
 
 // sweepRequest is the /v1/sweeps body: a sweep kind plus the base spec
@@ -202,6 +241,11 @@ func (sv *Service) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	release, ok := sv.admit(w, "/v1/sweeps", len(sw.Points))
+	if !ok {
+		return
+	}
+	defer release()
 	streamNDJSON(w, sv.StreamPoints(r.Context(), sw.Points))
 }
 
@@ -232,10 +276,17 @@ type health struct {
 	ActiveJobs int        `json:"active_jobs"`
 	Store      StoreStats `json:"store"`
 	Queue      QueueStats `json:"queue"`
+	// Ready mirrors /readyz: false before serve is up and during drain.
+	Ready bool `json:"ready"`
+	// Cells is the streamed-cell admission gate (budget, in-flight, shed).
+	Cells cluster.AdmissionStats `json:"cells"`
+	// Cluster is the peer-ring snapshot; omitted on a single node.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 func (sv *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	qs := sv.QueueStats()
+	ready, _ := sv.Ready()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(health{
 		Status:        "ok",
@@ -244,5 +295,24 @@ func (sv *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		ActiveJobs:    qs.Queued + qs.Running,
 		Store:         sv.StoreStats(),
 		Queue:         qs,
+		Ready:         ready,
+		Cells:         sv.ShedStats(),
+		Cluster:       sv.ClusterStats(),
 	})
+}
+
+// handleReadyz is the load-balancer gate, distinct from /healthz: the
+// process is alive (healthz answers 200) the whole time readyz says
+// 503 — before serve finishes binding its listener and ring, and again
+// once a drain begins, so balancers stop routing before the listener
+// closes.
+func (sv *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready, reason := sv.Ready()
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "unavailable", "reason": reason})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
 }

@@ -178,6 +178,39 @@ func (sv *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "tsnoop_http_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, counts[k])
 	}
 
+	// Admission gate: routes are pre-registered at construction, so the
+	// series set is fixed from the first scrape.
+	as := sv.ShedStats()
+	promFamily(&b, "tsnoop_cells_budget", "Streamed-cell admission budget (0 = unlimited).", "gauge")
+	fmt.Fprintf(&b, "tsnoop_cells_budget %d\n", as.Budget)
+	promFamily(&b, "tsnoop_cells_inflight", "Cells admitted to in-flight streams.", "gauge")
+	fmt.Fprintf(&b, "tsnoop_cells_inflight %d\n", as.Inflight)
+	promFamily(&b, "tsnoop_shed_total", "Streaming requests refused with 429 by route.", "counter")
+	for _, s := range as.Shed {
+		fmt.Fprintf(&b, "tsnoop_shed_total{route=%q} %d\n", s.Route, s.Count)
+	}
+
+	// Cluster counters: peers are pre-registered from the member list,
+	// so every peer's series exists (at zero) from the first scrape.
+	if cs := sv.ClusterStats(); cs != nil {
+		promFamily(&b, "tsnoop_cluster_members", "Members in the static peer ring, including this node.", "gauge")
+		fmt.Fprintf(&b, "tsnoop_cluster_members %d\n", len(cs.Members))
+		promFamily(&b, "tsnoop_cluster_forwards_total", "Misses forwarded to their owning peer.", "counter")
+		for _, p := range cs.Peers {
+			fmt.Fprintf(&b, "tsnoop_cluster_forwards_total{peer=%q} %d\n", p.Peer, p.Forwards)
+		}
+		promFamily(&b, "tsnoop_cluster_forward_hits_total", "Forwards the owner answered from its store.", "counter")
+		for _, p := range cs.Peers {
+			fmt.Fprintf(&b, "tsnoop_cluster_forward_hits_total{peer=%q} %d\n", p.Peer, p.Hits)
+		}
+		promFamily(&b, "tsnoop_cluster_forward_errors_total", "Forwards that failed every attempt and degraded to local compute.", "counter")
+		for _, p := range cs.Peers {
+			fmt.Fprintf(&b, "tsnoop_cluster_forward_errors_total{peer=%q} %d\n", p.Peer, p.Errors)
+		}
+		promFamily(&b, "tsnoop_cluster_replicated_total", "Forwarded results replicated into the local LRU front.", "counter")
+		fmt.Fprintf(&b, "tsnoop_cluster_replicated_total %d\n", cs.Replicated)
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, b.String())
 }

@@ -134,6 +134,9 @@ type Result struct {
 	// Shared reports a result obtained by joining an identical in-flight
 	// job (singleflight) rather than starting a new one.
 	Shared bool
+	// Remote names the owning peer that answered a forwarded miss;
+	// empty when this node answered from its own store or queue.
+	Remote string
 }
 
 // flight is one in-progress computation of a key. Duplicate submissions

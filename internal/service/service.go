@@ -17,6 +17,14 @@
 //     presentation order as they finish, GET /v1/jobs/{id} reports
 //     progress, and GET /healthz reports store and queue counters.
 //
+// A Service optionally joins a cluster (internal/cluster): a static
+// consistent-hash ring shards the canonical key space across N serve
+// processes, misses whose key another member owns are forwarded there
+// (so the dedup queue's singleflight stays global, not per-node), the
+// returned result is replicated into this node's LRU front, and an
+// unreachable owner degrades to local compute — the stream never fails
+// and never changes a byte.
+//
 // cmd/tsnoop wires this up as the serve and submit subcommands, and the
 // run/grid/sweep subcommands hit the same store locally via -cache.
 package service
@@ -25,8 +33,10 @@ import (
 	"context"
 	"iter"
 	"log/slog"
+	"sync"
 	"time"
 
+	"tsnoop/internal/cluster"
 	"tsnoop/internal/harness"
 	"tsnoop/internal/parallel"
 	"tsnoop/internal/spec"
@@ -58,19 +68,36 @@ type Config struct {
 	// HTTP request (method, path, status, bytes, duration). Nil disables
 	// access logging; the /metrics counters run either way.
 	Logger *slog.Logger
+	// Cluster federates this node into a static peer ring (nil = single
+	// node): misses whose canonical key another member owns are
+	// forwarded there and the result rides back into this node's LRU.
+	Cluster *cluster.Cluster
+	// MaxCells bounds this node's in-flight streamed cells on /v1/grids
+	// and /v1/sweeps; past it new streams are refused with 429 +
+	// Retry-After (0 = cluster.DefaultMaxCells, negative = unlimited).
+	MaxCells int
 }
 
 // Service is the experiment service: a store fronted by a dedup queue,
 // with grid/sweep streaming that mirrors the harness engine cell for
 // cell.
 type Service struct {
-	store *Store
-	queue *Queue
+	store   *Store
+	queue   *Queue
+	cluster *cluster.Cluster
+	shed    *cluster.Admission
 
 	version string
 	logger  *slog.Logger
 	started time.Time
 	httpm   httpMetrics
+
+	// readiness gates /readyz: a node reports 503 before serve marks it
+	// ready (listener + ring up) and again once a drain begins, so load
+	// balancers stop routing before the listener closes.
+	readyMu     sync.Mutex
+	ready       bool
+	readyReason string
 }
 
 // New opens the store and builds the queue.
@@ -79,19 +106,120 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	budget := cfg.MaxCells
+	if budget == 0 {
+		budget = cluster.DefaultMaxCells
+	}
+	if budget < 0 {
+		budget = 0 // unlimited
+	}
 	return &Service{
-		store:   store,
-		queue:   NewQueue(store, cfg.Workers, cfg.Keep, cfg.Sim, cfg.BaseContext),
-		version: cfg.Version,
-		logger:  cfg.Logger,
-		started: time.Now(),
+		store:       store,
+		queue:       NewQueue(store, cfg.Workers, cfg.Keep, cfg.Sim, cfg.BaseContext),
+		cluster:     cfg.Cluster,
+		shed:        cluster.NewAdmission(budget, "/v1/grids", "/v1/sweeps"),
+		version:     cfg.Version,
+		logger:      cfg.Logger,
+		started:     time.Now(),
+		readyReason: "starting",
 	}, nil
 }
 
-// Do answers one spec through the store and queue; see Queue.Do.
+// Do answers one spec. On a single node this is exactly Queue.Do; on a
+// cluster member the canonical key is routed first — keys this node
+// owns (and every replicated hot entry) are answered locally, misses
+// on another member's shard are forwarded to the owner so identical
+// submissions entering anywhere in the fleet singleflight onto one
+// simulation. A dead owner degrades to local compute: the answer is
+// byte-identical either way, only the forward-error counter moves.
 func (sv *Service) Do(ctx context.Context, s spec.Spec) (Result, error) {
-	return sv.queue.Do(ctx, s)
+	return sv.do(ctx, s, false)
 }
+
+// DoLocal answers one spec on this node regardless of ring ownership —
+// the path forwarded peer requests take, so a forward can never loop
+// even while two nodes momentarily disagree about the member list.
+func (sv *Service) DoLocal(ctx context.Context, s spec.Spec) (Result, error) {
+	return sv.do(ctx, s, true)
+}
+
+func (sv *Service) do(ctx context.Context, s spec.Spec, local bool) (Result, error) {
+	if sv.cluster == nil || local {
+		return sv.queue.Do(ctx, s)
+	}
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	// Same key discipline as Queue.Do: the service answers the
+	// experiment; telemetry is a local-CLI concern.
+	s.Metrics = false
+	key := s.Canonical()
+	owner, remote := sv.cluster.Route(key)
+	if !remote {
+		return sv.queue.Do(ctx, s)
+	}
+	// A replicated hot entry (or an earlier local-fallback compute)
+	// answers without a network hop.
+	if data, ok, err := sv.store.Get(key); err == nil && ok {
+		if run, derr := decodeRun(data); derr == nil {
+			return Result{Key: key, Data: data, Run: run, Cached: true}, nil
+		}
+	}
+	data, disp, err := sv.cluster.Forward(ctx, owner, s.JSON())
+	if err != nil {
+		if ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
+		// Owner unreachable: a dead peer costs a local simulation,
+		// never a failed stream. The forward error is already on the
+		// cluster counters (cluster_forward_error).
+		return sv.queue.Do(ctx, s)
+	}
+	run, derr := decodeRun(data)
+	if derr != nil {
+		// A peer that answers garbage is indistinguishable from a dead
+		// one: count nothing extra, just compute locally.
+		return sv.queue.Do(ctx, s)
+	}
+	sv.store.Remember(key, data)
+	sv.cluster.Replicate()
+	return Result{
+		Key:    key,
+		Data:   data,
+		Run:    run,
+		Remote: owner,
+		Cached: disp == CacheHit,
+		Shared: disp == CacheJoin,
+	}, nil
+}
+
+// SetReady flips the /readyz gate. serve marks the node ready once the
+// listener and ring are up, and not-ready (reason "draining") when
+// shutdown begins.
+func (sv *Service) SetReady(ready bool, reason string) {
+	sv.readyMu.Lock()
+	sv.ready, sv.readyReason = ready, reason
+	sv.readyMu.Unlock()
+}
+
+// Ready reports the /readyz gate and, when not ready, why.
+func (sv *Service) Ready() (bool, string) {
+	sv.readyMu.Lock()
+	defer sv.readyMu.Unlock()
+	return sv.ready, sv.readyReason
+}
+
+// ClusterStats snapshots the cluster counters (nil when single-node).
+func (sv *Service) ClusterStats() *cluster.Stats {
+	if sv.cluster == nil {
+		return nil
+	}
+	st := sv.cluster.Stats()
+	return &st
+}
+
+// ShedStats snapshots the streamed-cell admission gate.
+func (sv *Service) ShedStats() cluster.AdmissionStats { return sv.shed.Stats() }
 
 // Drain blocks until every in-flight job has finished (or ctx fires);
 // see Queue.Drain.

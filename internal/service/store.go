@@ -211,6 +211,20 @@ func (st *Store) Put(key string, data []byte) error {
 	return nil
 }
 
+// Remember inserts a result into the in-memory LRU without touching
+// disk. Cluster peers replicate hot entries this way on the way back
+// from a forward, so repeated non-owner reads are served locally while
+// the owning shard's disk stays the single persistent copy. Malformed
+// keys are dropped (a forwarding peer has already validated the key).
+func (st *Store) Remember(key string, data []byte) {
+	if checkKey(key) != nil {
+		return
+	}
+	st.mu.Lock()
+	st.remember(key, data)
+	st.mu.Unlock()
+}
+
 // Stats snapshots the store's counters.
 func (st *Store) Stats() StoreStats {
 	st.mu.Lock()
