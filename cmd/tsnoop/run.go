@@ -11,6 +11,7 @@ import (
 	"runtime/pprof"
 
 	"tsnoop/internal/harness"
+	"tsnoop/internal/obs"
 	"tsnoop/internal/service"
 	"tsnoop/internal/spec"
 	"tsnoop/internal/stats"
@@ -32,12 +33,19 @@ var runCmd = &command{
 		cacheDir := fs.String("cache", "", "serve and record results through this content-addressed store directory")
 		cpuprof := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprof := fs.String("memprofile", "", "write a pprof heap profile to this file")
+		traceOut := fs.String("trace-out", "", "write transaction-lifecycle spans as Chrome trace-event JSON to this file (implies -spans, single seed)")
 		return func(ctx context.Context, stdout, stderr io.Writer) error {
 			stopProf, err := startProfiles(*cpuprof, *memprof)
 			if err != nil {
 				return err
 			}
-			run, runErr := runMaybeCached(ctx, s, *cacheDir, stderr)
+			var run *stats.Run
+			var runErr error
+			if *traceOut != "" {
+				run, runErr = runTraced(s, *traceOut, *cacheDir, stderr)
+			} else {
+				run, runErr = runMaybeCached(ctx, s, *cacheDir, stderr)
+			}
 			if err := stopProf(); err != nil {
 				return err
 			}
@@ -62,6 +70,41 @@ var runCmd = &command{
 	},
 }
 
+// traceRingCap bounds the -trace-out span ring: 1M spans (~48 MB) is
+// far beyond any smoke-sized run; longer runs wrap, dropping the
+// oldest spans, and the drop count is reported on stderr.
+const traceRingCap = 1 << 20
+
+// runTraced executes the spec once with span capture and writes the
+// Chrome trace-event JSON. Like -metrics, span-bearing runs bypass
+// the result store (their rendering is not the canonical payload).
+func runTraced(s spec.Spec, path, cacheDir string, stderr io.Writer) (*stats.Run, error) {
+	if cacheDir != "" {
+		fmt.Fprintln(stderr, "tsnoop: -trace-out bypasses the result store (spans are not cached)")
+	}
+	log := obs.NewSpanLog(traceRingCap)
+	run, err := s.RunTraced(log)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := obs.WriteChromeTrace(f, log); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if n := log.Dropped(); n > 0 {
+		fmt.Fprintf(stderr, "tsnoop: span ring wrapped, oldest %d spans dropped from %s\n", n, path)
+	}
+	fmt.Fprintf(stderr, "tsnoop: wrote %d spans to %s (open in Perfetto or chrome://tracing)\n", log.Len(), path)
+	return run, nil
+}
+
 // runMaybeCached executes the spec, through the content-addressed
 // result store when -cache names a directory: a previously computed
 // spec (same canonical hash) is served without simulation, a fresh one
@@ -70,12 +113,13 @@ func runMaybeCached(ctx context.Context, s spec.Spec, cacheDir string, stderr io
 	if cacheDir == "" {
 		return s.RunContext(ctx)
 	}
-	if s.Metrics {
+	if s.Metrics || s.Spans {
 		// The store's contract is byte-identical payloads per canonical
-		// key, and Normalize clears the metrics knob (an instrumented run
-		// is the same experiment), so a metrics-bearing rendering can
-		// neither be stored under nor served from that key. Run directly.
-		fmt.Fprintln(stderr, "tsnoop: -metrics bypasses the result store (telemetry is not cached)")
+		// key, and Normalize clears the metrics/spans knobs (an
+		// instrumented run is the same experiment), so an instrumented
+		// rendering can neither be stored under nor served from that
+		// key. Run directly.
+		fmt.Fprintln(stderr, "tsnoop: -metrics/-spans bypasses the result store (telemetry is not cached)")
 		return s.RunContext(ctx)
 	}
 	sv, err := newCacheService(ctx, cacheDir, s.Workers)

@@ -46,6 +46,7 @@ var submitCmd = &command{
 		sweepKind := fs.String("sweep", "ablation", "sweep kind for -mode sweep")
 		timeout := fs.Duration("timeout", 0, "request timeout (0 = none)")
 		retry := fs.Int("retry", 0, "re-submissions on connection errors, 429, and 503 (0 = fail fast)")
+		verbose := fs.Bool("verbose", false, "after the response, print server-side phase spans (queue wait, simulate, store write, forward hops) from the job and trace endpoints")
 		return func(ctx context.Context, stdout, stderr io.Writer) error {
 			var path string
 			var body []byte
@@ -85,7 +86,13 @@ var submitCmd = &command{
 			}
 			defer resp.Body.Close()
 			reportDisposition(stderr, resp)
-			return streamResponse(stdout, resp.Body)
+			if err := streamResponse(stdout, resp.Body); err != nil {
+				return err
+			}
+			if *verbose {
+				reportServerSpans(ctx, stderr, strings.TrimRight(*addr, "/"), resp)
+			}
+			return nil
 		}
 	},
 }
@@ -194,6 +201,89 @@ func reportDisposition(stderr io.Writer, resp *http.Response) {
 		line += " key " + key[:12]
 	}
 	fmt.Fprintf(stderr, "submit: %s\n", line)
+}
+
+// reportServerSpans prints the server's wall-clock view of the request
+// after the stream completes: the job's phase timings from
+// GET /v1/jobs/{id} (when the response named a job) and the request
+// trace from GET /v1/traces/{id}, including the owning peer's spans
+// when the run was forwarded inside a cluster. Everything here is
+// best-effort decoration of a response already delivered — a server
+// too old (or too busy) to answer simply prints less.
+func reportServerSpans(ctx context.Context, stderr io.Writer, base string, resp *http.Response) {
+	if jobID := resp.Header.Get("X-Tsnoop-Job"); jobID != "" {
+		var job struct {
+			State string `json:"state"`
+			Spans struct {
+				QueueWaitUS  int64 `json:"queue_wait_us"`
+				SimulateUS   int64 `json:"simulate_us"`
+				StoreWriteUS int64 `json:"store_write_us"`
+			} `json:"spans"`
+		}
+		if getJSON(ctx, base+"/v1/jobs/"+jobID, &job) == nil {
+			fmt.Fprintf(stderr, "submit: %s %s: queue_wait %dus, simulate %dus, store_write %dus\n",
+				jobID, job.State, job.Spans.QueueWaitUS, job.Spans.SimulateUS, job.Spans.StoreWriteUS)
+		}
+	}
+	traceID := resp.Header.Get(cluster.TraceHeader)
+	if traceID == "" {
+		return
+	}
+	var tr struct {
+		Node       string       `json:"node"`
+		DurUS      int64        `json:"dur_us"`
+		Spans      []submitSpan `json:"spans"`
+		RemotePeer string       `json:"remote_peer"`
+		Remote     []submitSpan `json:"remote_spans"`
+	}
+	if getJSON(ctx, base+"/v1/traces/"+traceID, &tr) != nil {
+		return
+	}
+	where := tr.Node
+	if where == "" {
+		where = "server"
+	}
+	fmt.Fprintf(stderr, "submit: trace %s on %s (%dus total)\n", traceID, where, tr.DurUS)
+	printSpans(stderr, "  ", tr.Spans)
+	if tr.RemotePeer != "" {
+		fmt.Fprintf(stderr, "submit: forwarded to %s\n", tr.RemotePeer)
+		printSpans(stderr, "    ", tr.Remote)
+	}
+}
+
+// submitSpan mirrors the server's TraceSpan shape.
+type submitSpan struct {
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	Note    string `json:"note"`
+}
+
+func printSpans(w io.Writer, indent string, spans []submitSpan) {
+	for _, s := range spans {
+		line := fmt.Sprintf("%s%-12s %8dus", indent, s.Name, s.DurUS)
+		if s.Note != "" {
+			line += "  (" + s.Note + ")"
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// getJSON fetches one JSON document with the submit client.
+func getJSON(ctx context.Context, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := submitClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(v)
 }
 
 // readServerError extracts the one-object JSON error a tsnoop server

@@ -63,6 +63,25 @@
 // per-job phase spans on GET /v1/jobs/{id}. See the README's
 // "Observability" section; BENCH_7.json records the overhead envelope.
 //
+// Tracing extends both layers. Inside the simulator, -spans /
+// core.WithSpans decomposes every coherence transaction into lifecycle
+// phase spans (miss, order wait, data-after-order, address flight,
+// reorder and buffer dwell, data flight) recorded in simulated
+// picoseconds through the same nil-guarded probe sites — zero
+// allocations when on, one branch when off — and summarized as a
+// latency_breakdown section that is byte-identical at any worker
+// count; run -trace-out FILE exports the raw spans as Chrome
+// trace-event JSON openable in Perfetto. Across the service, every
+// request carries an X-Tsnoop-Trace ID minted at the cluster's entry
+// node and propagated on shard forwards; each node records wall-clock
+// phase spans (route, store_get, forward, queue_wait, simulate,
+// store_write, replicate) into a bounded ring served on GET /v1/traces
+// and GET /v1/traces/{id}, a forwarded request embeds the owner's
+// spans via the X-Tsnoop-Trace-Spans response header, and submit
+// -verbose prints the server-side spans for the request it just made.
+// Neither knob moves a spec's canonical hash. See the README's
+// "Tracing" section.
+//
 // Those invariants — the zero-alloc hot path, pool hygiene,
 // byte-identical determinism, and the stability of the canonical spec
 // hash — are enforced statically, not just by tests: internal/analysis

@@ -14,10 +14,17 @@
 //     allocate maps or iterate maps: per-event map allocation defeats
 //     the allocation budget, and map iteration order would additionally
 //     break byte-identical determinism.
+//   - Telemetry probes (obs.Probe) on the dispatch path follow the
+//     hoisted nil-guard shape: `if pr := x.probe; pr != nil { pr.Span(...) }`.
+//     A probe method called through a field chain skips the hoist (and
+//     usually the guard), and a probe method called from a closure
+//     captures its environment and allocates per event — both are
+//     diagnostics; the direct call on a guarded local is blessed.
 //
 // The runtime counterparts of these rules are the AllocsPerRun budgets
-// (TestKernelAllocs, TestBroadcastAllocs, TestMissAllocs); this
-// analyzer turns a budget regression from a test failure into a
+// (TestKernelAllocs, TestBroadcastAllocs, TestMissAllocs, and their
+// spans-on twins TestBroadcastAllocsTraced / TestMissAllocsTraced);
+// this analyzer turns a budget regression from a test failure into a
 // diagnostic at the offending line.
 package allocfree
 
@@ -32,13 +39,17 @@ import (
 // Analyzer is the allocfree pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "allocfree",
-	Doc:  "forbid closure scheduling, interface boxing and map traffic on the simulator's allocation-free hot paths",
+	Doc:  "forbid closure scheduling, interface boxing, map traffic and unhoisted probe calls on the simulator's allocation-free hot paths",
 	Run:  run,
 }
 
 // simPath is the import path of the kernel package; the analyzer keys
 // on the Kernel methods declared there.
 const simPath = "tsnoop/internal/sim"
+
+// obsPath is the import path of the telemetry package; the probe-shape
+// rules key on methods of the Probe type declared there.
+const obsPath = "tsnoop/internal/obs"
 
 // hotPackages are the dispatch-critical packages the contract covers.
 var hotPackages = []string{
@@ -185,13 +196,46 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
+	// Enforce the probe shape on the same set: a span-probe call on the
+	// dispatch path must be a direct call on a hoisted (nil-guarded)
+	// local, never through a field chain and never from a closure.
+	var checkProbe func(body ast.Node, inClosure bool)
+	checkProbe = func(body ast.Node, inClosure bool) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkProbe(lit.Body, true)
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, name, ok := probeMethod(pass, call)
+			if !ok {
+				return true
+			}
+			if inClosure {
+				pass.Reportf(call.Pos(),
+					"obs.Probe.%s called from a closure on the dispatch path: the closure captures the probe and allocates per event; emit spans from a package-level sim.EventFn behind a nil guard", name)
+				return true
+			}
+			if _, ident := sel.X.(*ast.Ident); !ident {
+				pass.Reportf(call.Pos(),
+					"obs.Probe.%s called through a field chain on the dispatch path; hoist the probe into a nil-guarded local (if pr := x.probe; pr != nil { pr.%s(...) })", name, name)
+			}
+			return true
+		})
+	}
+
 	for fn := range reachable {
 		if fd, ok := decls[fn]; ok && fd.Body != nil {
 			checkMapTraffic(fn.Name(), fd.Body)
+			checkProbe(fd.Body, false)
 		}
 	}
 	for _, lit := range closureRoots {
 		checkMapTraffic("a scheduled closure", lit.Body)
+		checkProbe(lit.Body, true)
 	}
 	return nil
 }
@@ -224,6 +268,33 @@ func kernelMethod(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 		return obj.Name(), true
 	}
 	return "", false
+}
+
+// probeMethod reports whether call invokes a method of obs.Probe,
+// returning the selector (whose X is the receiver expression the shape
+// rules inspect) and the method name.
+func probeMethod(pass *analysis.Pass, call *ast.CallExpr) (*ast.SelectorExpr, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != obsPath {
+		return nil, "", false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, "", false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Probe" {
+		return nil, "", false
+	}
+	return sel, obj.Name(), true
 }
 
 // staticFunc resolves an expression to the *types.Func it statically

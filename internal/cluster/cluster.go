@@ -22,6 +22,16 @@ const ForwardedHeader = "X-Tsnoop-Forwarded"
 // forwarding client relays it so the entry node can report remote hits.
 const cacheHeader = "X-Tsnoop-Cache"
 
+// TraceHeader carries the request trace ID. The entry node generates
+// one (or the client supplies its own), every response echoes it, and
+// forwards propagate it so both nodes record the hop under one ID.
+const TraceHeader = "X-Tsnoop-Trace"
+
+// TraceSpansHeader is the owner's response header on a forwarded run:
+// its wall-clock span list as JSON, which the entry node embeds into
+// its own trace so GET /v1/traces/{id} shows both sides of the hop.
+const TraceSpansHeader = "X-Tsnoop-Trace-Spans"
+
 // maxForwardBody bounds a forwarded response body: a stats.Run JSON is
 // a few kilobytes, so 64 MiB is "unbounded in practice" while still
 // making a misbehaving peer an error instead of an OOM.
@@ -112,15 +122,26 @@ func (c *Cluster) Route(key string) (peer string, remote bool) {
 	return owner, owner != c.ring.Self()
 }
 
-// Forward sends one spec to its owning peer's POST /v1/runs and
-// returns the owner's canonical Run JSON (trailing newline stripped,
-// so the bytes are identical to a local Result.Data) plus the owner's
-// cache disposition ("hit", "join" or "miss"). Connection errors and
-// 5xx/429 responses are retried with exponential backoff; a forward
-// that fails every attempt is counted on the peer and returned as an
-// error for the caller to degrade on — the repo-wide rule is that a
-// dead peer costs a local simulation, never a failed stream.
-func (c *Cluster) Forward(ctx context.Context, peer string, specJSON []byte) (data []byte, disposition string, err error) {
+// Forwarded is one successful forward's answer: the owner's canonical
+// Run JSON (trailing newline stripped, so the bytes are identical to a
+// local Result.Data), its cache disposition ("hit", "join" or "miss"),
+// and — when the owner runs a trace-aware build — the owner's
+// wall-clock span list (TraceSpansHeader JSON) for the entry node's
+// trace.
+type Forwarded struct {
+	Data        []byte
+	Disposition string
+	RemoteSpans string
+}
+
+// Forward sends one spec to its owning peer's POST /v1/runs, stamped
+// with the entry node's trace ID (empty = untraced), and returns the
+// owner's answer. Connection errors and 5xx/429 responses are retried
+// with exponential backoff; a forward that fails every attempt is
+// counted on the peer and returned as an error for the caller to
+// degrade on — the repo-wide rule is that a dead peer costs a local
+// simulation, never a failed stream.
+func (c *Cluster) Forward(ctx context.Context, peer string, specJSON []byte, traceID string) (Forwarded, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
@@ -128,10 +149,10 @@ func (c *Cluster) Forward(ctx context.Context, peer string, specJSON []byte) (da
 				break
 			}
 		}
-		data, disp, ferr, retryable := c.forwardOnce(ctx, peer, specJSON)
+		fwd, ferr, retryable := c.forwardOnce(ctx, peer, specJSON, traceID)
 		if ferr == nil {
-			c.recordForward(peer, disp)
-			return data, disp, nil
+			c.recordForward(peer, fwd.Disposition)
+			return fwd, nil
 		}
 		lastErr = ferr
 		if !retryable || ctx.Err() != nil {
@@ -139,42 +160,49 @@ func (c *Cluster) Forward(ctx context.Context, peer string, specJSON []byte) (da
 		}
 	}
 	c.recordError(peer)
-	return nil, "", lastErr
+	return Forwarded{}, lastErr
 }
 
 // forwardOnce performs a single forwarding attempt. retryable
 // classifies the failure: connection trouble and 5xx/429 responses may
 // clear up, 4xx responses will not.
-func (c *Cluster) forwardOnce(ctx context.Context, peer string, specJSON []byte) (data []byte, disposition string, err error, retryable bool) {
+func (c *Cluster) forwardOnce(ctx context.Context, peer string, specJSON []byte, traceID string) (fwd Forwarded, err error, retryable bool) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		"http://"+peer+"/v1/runs", bytes.NewReader(specJSON))
 	if err != nil {
-		return nil, "", fmt.Errorf("cluster: forward to %s: %w", peer, err), false
+		return Forwarded{}, fmt.Errorf("cluster: forward to %s: %w", peer, err), false
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardedHeader, c.ring.Self())
+	if traceID != "" {
+		req.Header.Set(TraceHeader, traceID)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return nil, "", fmt.Errorf("cluster: forward to %s: %w", peer, err), true
+		return Forwarded{}, fmt.Errorf("cluster: forward to %s: %w", peer, err), true
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<14))
 		retry := resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
-		return nil, "", fmt.Errorf("cluster: peer %s answered %s: %s",
+		return Forwarded{}, fmt.Errorf("cluster: peer %s answered %s: %s",
 			peer, resp.Status, strings.TrimSpace(string(msg))), retry
 	}
-	data, err = io.ReadAll(io.LimitReader(resp.Body, maxForwardBody+1))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody+1))
 	if err != nil {
-		return nil, "", fmt.Errorf("cluster: reading %s response: %w", peer, err), true
+		return Forwarded{}, fmt.Errorf("cluster: reading %s response: %w", peer, err), true
 	}
 	if len(data) > maxForwardBody {
-		return nil, "", fmt.Errorf("cluster: peer %s response exceeds %d bytes", peer, maxForwardBody), false
+		return Forwarded{}, fmt.Errorf("cluster: peer %s response exceeds %d bytes", peer, maxForwardBody), false
 	}
 	// The runs handler terminates the JSON document with one newline;
 	// strip it so forwarded bytes equal a local Result.Data exactly.
 	data = bytes.TrimSuffix(data, []byte("\n"))
-	return data, resp.Header.Get(cacheHeader), nil, false
+	return Forwarded{
+		Data:        data,
+		Disposition: resp.Header.Get(cacheHeader),
+		RemoteSpans: resp.Header.Get(TraceSpansHeader),
+	}, nil, false
 }
 
 // Replicate counts one peer result copied into the local LRU front.

@@ -29,34 +29,42 @@ func twoNodeConfig(t *testing.T, peerAddr string, retries int) *Cluster {
 }
 
 // A forward posts the spec to the peer's /v1/runs with the forwarded
-// marker, strips the response's trailing newline, and relays the cache
-// disposition.
+// marker and the trace ID, strips the response's trailing newline, and
+// relays the cache disposition plus the owner's span header.
 func TestForwardRoundTrip(t *testing.T) {
-	var gotForwarded atomic.Value
+	var gotForwarded, gotTrace atomic.Value
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/v1/runs" {
 			t.Errorf("forward hit %s, want /v1/runs", r.URL.Path)
 		}
 		gotForwarded.Store(r.Header.Get(ForwardedHeader))
+		gotTrace.Store(r.Header.Get(TraceHeader))
 		w.Header().Set(cacheHeader, "hit")
+		w.Header().Set(TraceSpansHeader, `[{"name":"store_get","start_us":0,"dur_us":3,"note":"hit"}]`)
 		w.Write([]byte(`{"runtime_ps":7}` + "\n"))
 	}))
 	defer srv.Close()
 	peer := strings.TrimPrefix(srv.URL, "http://")
 	c := twoNodeConfig(t, peer, -1)
 
-	data, disp, err := c.Forward(context.Background(), peer, []byte(`{}`))
+	fwd, err := c.Forward(context.Background(), peer, []byte(`{}`), "cafe0123")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(data) != `{"runtime_ps":7}` {
-		t.Errorf("forwarded data = %q (trailing newline must be stripped)", data)
+	if string(fwd.Data) != `{"runtime_ps":7}` {
+		t.Errorf("forwarded data = %q (trailing newline must be stripped)", fwd.Data)
 	}
-	if disp != "hit" {
-		t.Errorf("disposition = %q, want hit", disp)
+	if fwd.Disposition != "hit" {
+		t.Errorf("disposition = %q, want hit", fwd.Disposition)
+	}
+	if !strings.Contains(fwd.RemoteSpans, `"store_get"`) {
+		t.Errorf("remote spans = %q, want the owner's span header relayed", fwd.RemoteSpans)
 	}
 	if got := gotForwarded.Load(); got != c.Self() {
 		t.Errorf("forwarded marker = %v, want %s", got, c.Self())
+	}
+	if got := gotTrace.Load(); got != "cafe0123" {
+		t.Errorf("trace header = %v, want cafe0123", got)
 	}
 	st := c.Stats()
 	if len(st.Peers) != 1 || st.Peers[0].Forwards != 1 || st.Peers[0].Hits != 1 || st.Peers[0].Errors != 0 {
@@ -80,7 +88,7 @@ func TestForwardRetriesThenDegrades(t *testing.T) {
 
 	// Two retries ride out the two 503s.
 	c := twoNodeConfig(t, peer, 2)
-	if _, _, err := c.Forward(context.Background(), peer, []byte(`{}`)); err != nil {
+	if _, err := c.Forward(context.Background(), peer, []byte(`{}`), ""); err != nil {
 		t.Fatalf("forward with 2 retries: %v", err)
 	}
 	if got := calls.Load(); got != 3 {
@@ -89,7 +97,7 @@ func TestForwardRetriesThenDegrades(t *testing.T) {
 
 	// A dead peer fails every attempt and lands on the error counter.
 	srv.Close()
-	if _, _, err := c.Forward(context.Background(), peer, []byte(`{}`)); err == nil {
+	if _, err := c.Forward(context.Background(), peer, []byte(`{}`), ""); err == nil {
 		t.Fatal("forward to a closed peer succeeded")
 	}
 	st := c.Stats()
@@ -108,7 +116,7 @@ func TestForwardDoesNotRetryBadRequests(t *testing.T) {
 	defer srv.Close()
 	peer := strings.TrimPrefix(srv.URL, "http://")
 	c := twoNodeConfig(t, peer, 3)
-	if _, _, err := c.Forward(context.Background(), peer, []byte(`{}`)); err == nil {
+	if _, err := c.Forward(context.Background(), peer, []byte(`{}`), ""); err == nil {
 		t.Fatal("forward of a rejected spec succeeded")
 	}
 	if got := calls.Load(); got != 1 {
@@ -122,7 +130,7 @@ func TestForwardHonorsContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	start := time.Now()
-	if _, _, err := c.Forward(ctx, "127.0.0.1:9", []byte(`{}`)); err == nil {
+	if _, err := c.Forward(ctx, "127.0.0.1:9", []byte(`{}`), ""); err == nil {
 		t.Fatal("forward with cancelled context succeeded")
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {

@@ -155,6 +155,10 @@ func deliverMsg(a0, a1 any, i0 int64) {
 	pm := a1.(*Message)
 	if p := f.probe; p != nil {
 		p.Event(obs.EvDataMsg)
+		// data_flight: the message's unloaded transit, observed at the
+		// destination.
+		p.Span(obs.SpanDataFlight, int32(pm.Dst), obs.NetLane(obs.SpanDataFlight),
+			int32(pm.Src), 0, int64(pm.SentAt), int64(pm.ArriveAt-pm.SentAt))
 	}
 	m := *pm
 	f.msgPool.Put(pm)

@@ -15,6 +15,11 @@ type Metrics struct {
 	Kernel   KernelMetrics   `json:"kernel"`
 	Network  NetworkMetrics  `json:"network"`
 	Protocol ProtocolMetrics `json:"protocol"`
+	// Latency is the per-phase transaction-lifecycle breakdown,
+	// present only when the run was executed with spans enabled
+	// (the -spans knob). A pointer with omitempty so metrics-only
+	// snapshots stay byte-identical to pre-span renderings.
+	Latency *LatencyBreakdown `json:"latency_breakdown,omitempty"`
 }
 
 // HistSummary is the wire form of a Hist: totals plus the log2
@@ -83,6 +88,22 @@ type ProtocolMetrics struct {
 	MissWaitPS    HistSummary `json:"miss_wait_ps"`
 }
 
+// LatencyBreakdown splits the transaction lifecycle into its phases,
+// one histogram per SpanKind, all in simulated picoseconds. Like the
+// rest of the snapshot it is derived from simulated time only, so the
+// block is byte-identical at any -workers count.
+type LatencyBreakdown struct {
+	AccessPS          HistSummary `json:"access_ps"`
+	MissPS            HistSummary `json:"miss_ps"`
+	OrderWaitPS       HistSummary `json:"order_wait_ps"`
+	DataAfterOrderPS  HistSummary `json:"data_after_order_ps"`
+	DataBeforeOrderPS HistSummary `json:"data_before_order_ps"`
+	AddrFlightPS      HistSummary `json:"addr_flight_ps"`
+	ReorderDwellPS    HistSummary `json:"reorder_dwell_ps"`
+	BufferDwellPS     HistSummary `json:"buffer_dwell_ps"`
+	DataFlightPS      HistSummary `json:"data_flight_ps"`
+}
+
 // Summary renders a short human-readable block for tsnoop run's text
 // mode. Purely derived from the snapshot, so it is as deterministic
 // as the JSON.
@@ -102,5 +123,10 @@ func (m *Metrics) Summary() string {
 	}
 	fmt.Fprintf(&b, "  protocol    mshr mean %d peak %d, mean miss wait %d ps over %d misses\n",
 		m.Protocol.MSHROccupancy.Mean(), m.Protocol.MSHRPeak, m.Protocol.MissWaitPS.Mean(), m.Protocol.MissWaitPS.Count)
+	if l := m.Latency; l != nil {
+		fmt.Fprintf(&b, "  latency     miss %d ps (order wait %d, data after %d), addr flight %d, reorder %d, buffer %d, data flight %d\n",
+			l.MissPS.Mean(), l.OrderWaitPS.Mean(), l.DataAfterOrderPS.Mean(),
+			l.AddrFlightPS.Mean(), l.ReorderDwellPS.Mean(), l.BufferDwellPS.Mean(), l.DataFlightPS.Mean())
+	}
 	return b.String()
 }

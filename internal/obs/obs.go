@@ -163,6 +163,13 @@ type Probe struct {
 	mshrOcc  Hist
 	mshrPeak int64
 	missWait Hist
+
+	// Span layer (see span.go). spansOn gates the per-phase
+	// latency-breakdown histograms; spanLog, when non-nil, captures the
+	// raw span stream for the Chrome trace export.
+	spansOn   bool
+	spanHists [numSpanKinds]Hist
+	spanLog   *SpanLog
 }
 
 // NewProbe returns an empty probe. Network slices stay empty until
@@ -214,6 +221,12 @@ func (p *Probe) Reset() {
 	p.mshrOcc.reset()
 	p.mshrPeak = 0
 	p.missWait.reset()
+	for i := range p.spanHists {
+		p.spanHists[i].reset()
+	}
+	if l := p.spanLog; l != nil {
+		l.reset()
+	}
 }
 
 // Dispatch counts one kernel dispatch, split typed vs legacy closure.
@@ -321,6 +334,22 @@ func (p *Probe) Finalize(runtimePS int64) *Metrics {
 	for _, n := range p.swProps {
 		props += n
 	}
+	// The latency breakdown appears only when spans were enabled, so
+	// metrics-only runs render bytes identical to pre-span versions.
+	var latency *LatencyBreakdown
+	if p.spansOn {
+		latency = &LatencyBreakdown{
+			AccessPS:          p.spanHists[SpanAccess].summary(),
+			MissPS:            p.spanHists[SpanMiss].summary(),
+			OrderWaitPS:       p.spanHists[SpanOrderWait].summary(),
+			DataAfterOrderPS:  p.spanHists[SpanDataAfterOrder].summary(),
+			DataBeforeOrderPS: p.spanHists[SpanDataBeforeOrder].summary(),
+			AddrFlightPS:      p.spanHists[SpanAddrFlight].summary(),
+			ReorderDwellPS:    p.spanHists[SpanReorderDwell].summary(),
+			BufferDwellPS:     p.spanHists[SpanBufferDwell].summary(),
+			DataFlightPS:      p.spanHists[SpanDataFlight].summary(),
+		}
+	}
 	return &Metrics{
 		Kernel: KernelMetrics{
 			TypedDispatches:   p.typedDispatch,
@@ -354,5 +383,6 @@ func (p *Probe) Finalize(runtimePS int64) *Metrics {
 			MSHRPeak:      p.mshrPeak,
 			MissWaitPS:    p.missWait.summary(),
 		},
+		Latency: latency,
 	}
 }

@@ -1,0 +1,210 @@
+package obs
+
+// Span support: the probe's second layer. Where the histograms in
+// obs.go aggregate, spans record — each Span is one phase of one
+// coherence transaction's lifecycle, timestamped in simulated
+// picoseconds. The aggregate view (per-phase Hists rendered as the
+// latency_breakdown Metrics section) is deterministic and rides the
+// -metrics JSON; the raw span stream is bounded by a fixed-capacity
+// ring (SpanLog) and is exported as Chrome trace-event JSON for
+// Perfetto, never into the deterministic snapshot.
+//
+// The recording discipline matches the rest of the probe: call sites
+// are nil-guarded on the probe itself, Probe.Span is a no-op unless
+// EnableSpans was called, and with spans enabled the steady state
+// still allocates nothing — the per-phase Hists are fixed arrays and
+// the SpanLog ring is sized once at construction, overwriting its
+// oldest entry when full.
+
+// SpanKind classifies one phase of a transaction's lifecycle. The
+// phases follow the paper's critical path: the processor issues an
+// access, the protocol allocates an MSHR and injects into the address
+// network, the transaction transits links and dwells in switch
+// buffers, reaches its ordering point, waits in the endpoint reorder
+// queue, and (for misses) a data message crosses the unordered fabric
+// before the miss completes.
+type SpanKind uint8
+
+const (
+	// SpanAccess is a processor memory access, issue to completion
+	// (hits and misses alike).
+	SpanAccess SpanKind = iota
+	// SpanMiss is a protocol miss, MSHR allocation to completion.
+	SpanMiss
+	// SpanOrderWait is the slice of a miss spent waiting for the
+	// transaction to reach its ordering point (timestamp snooping:
+	// the requester processing its own transaction in logical order).
+	SpanOrderWait
+	// SpanDataAfterOrder is the post-ordering wait for the data
+	// response, when data arrived after the ordering point.
+	SpanDataAfterOrder
+	// SpanDataBeforeOrder is the early-data interval, when the data
+	// response arrived before the transaction was ordered.
+	SpanDataBeforeOrder
+	// SpanAddrFlight is an address transaction's network transit,
+	// injection to arrival at one endpoint.
+	SpanAddrFlight
+	// SpanReorderDwell is the endpoint reorder-queue wait, arrival to
+	// in-order processing.
+	SpanReorderDwell
+	// SpanBufferDwell is a switch output-port buffering interval for
+	// a contended transaction.
+	SpanBufferDwell
+	// SpanDataFlight is a data message's transit on the unordered
+	// point-to-point fabric.
+	SpanDataFlight
+
+	numSpanKinds
+)
+
+// String returns the phase name used in the latency breakdown and the
+// Chrome trace export.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanAccess:
+		return "access"
+	case SpanMiss:
+		return "miss"
+	case SpanOrderWait:
+		return "order_wait"
+	case SpanDataAfterOrder:
+		return "data_after_order"
+	case SpanDataBeforeOrder:
+		return "data_before_order"
+	case SpanAddrFlight:
+		return "addr_flight"
+	case SpanReorderDwell:
+		return "reorder_dwell"
+	case SpanBufferDwell:
+		return "buffer_dwell"
+	case SpanDataFlight:
+		return "data_flight"
+	default:
+		return "unknown"
+	}
+}
+
+// Span is one recorded lifecycle phase. All fields are fixed-size
+// scalars — no strings, no pointers — so a SpanLog ring entry costs
+// nothing to overwrite and the log never retains references.
+type Span struct {
+	Kind SpanKind
+	// Node is the observing node (Chrome trace pid).
+	Node int32
+	// TID distinguishes concurrent lanes within a node: the MSHR slot
+	// for protocol phases, the span kind for network phases (Chrome
+	// trace tid).
+	TID int32
+	// Src and Seq identify the transaction when the phase has one
+	// (address-network phases); zero otherwise.
+	Src int32
+	Seq uint64
+	// Start and Dur are simulated picoseconds.
+	Start int64
+	Dur   int64
+}
+
+// Lane assignment inside one node (Chrome trace tid): tid 0 is the
+// processor lane, tids [1, laneNet) are MSHR slots (slot = tid-1),
+// and each network phase owns one fixed lane at laneNet+kind so
+// overlapping spans of different phases never share a track.
+const (
+	// LaneCPU is the processor access lane.
+	LaneCPU int32 = 0
+	// LaneMSHR0 is the first MSHR slot's lane.
+	LaneMSHR0 int32 = 1
+	laneNet   int32 = 8
+)
+
+// NetLane returns the fixed per-kind lane of a network phase.
+func NetLane(k SpanKind) int32 { return laneNet + int32(k) }
+
+// SpanLog is a bounded ring of raw spans. Capacity is fixed at
+// construction; once full, each append overwrites the oldest entry
+// and bumps the dropped counter. Appending to a full ring therefore
+// never allocates, which keeps span recording inside the hot-path
+// allocation budget.
+type SpanLog struct {
+	ring    []Span
+	next    int
+	length  int
+	dropped int64
+}
+
+// NewSpanLog returns a ring holding up to capacity spans.
+func NewSpanLog(capacity int) *SpanLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpanLog{ring: make([]Span, capacity)}
+}
+
+// append records one span, overwriting the oldest when full.
+func (l *SpanLog) append(s Span) {
+	if l.length == len(l.ring) {
+		l.dropped++
+	} else {
+		l.length++
+	}
+	l.ring[l.next] = s
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+	}
+}
+
+// Len reports the number of spans currently held.
+func (l *SpanLog) Len() int { return l.length }
+
+// Dropped reports how many spans were overwritten by wrap-around.
+func (l *SpanLog) Dropped() int64 { return l.dropped }
+
+// Spans returns the held spans in record order, oldest first. It
+// allocates the result; call it after the run, not during.
+func (l *SpanLog) Spans() []Span {
+	out := make([]Span, 0, l.length)
+	start := l.next - l.length
+	if start < 0 {
+		start += len(l.ring)
+	}
+	for i := 0; i < l.length; i++ {
+		out = append(out, l.ring[(start+i)%len(l.ring)])
+	}
+	return out
+}
+
+// reset empties the ring in place, keeping its capacity.
+func (l *SpanLog) reset() {
+	l.next = 0
+	l.length = 0
+	l.dropped = 0
+}
+
+// EnableSpans turns on per-phase latency aggregation (the
+// latency_breakdown Metrics section) and, when log is non-nil,
+// raw-span capture into it. Call once at build time, before the run;
+// the per-phase histograms live inline in the probe, so enabling
+// spans performs no allocation beyond the caller's own SpanLog.
+func (p *Probe) EnableSpans(log *SpanLog) {
+	p.spansOn = true
+	p.spanLog = log
+}
+
+// SpansEnabled reports whether EnableSpans was called.
+func (p *Probe) SpansEnabled() bool { return p.spansOn }
+
+// Span records one lifecycle phase: its kind, the observing node, the
+// lane within that node (MSHR slot or phase lane), the transaction
+// identity when known, and the phase's start and duration in
+// simulated picoseconds. A no-op unless EnableSpans was called, so
+// probe-guarded call sites cost one extra predictable branch when the
+// knob is off.
+func (p *Probe) Span(k SpanKind, node, tid, src int32, seq uint64, startPS, durPS int64) {
+	if !p.spansOn {
+		return
+	}
+	p.spanHists[k].Observe(durPS)
+	if l := p.spanLog; l != nil {
+		l.append(Span{Kind: k, Node: node, TID: tid, Src: src, Seq: seq, Start: startPS, Dur: durPS})
+	}
+}

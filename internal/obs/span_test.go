@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// Probe.Span is inert until EnableSpans: no histogram movement, no log.
+func TestSpanOffByDefault(t *testing.T) {
+	p := NewProbe()
+	p.Span(SpanMiss, 0, LaneMSHR0, 0, 1, 100, 50)
+	if p.SpansEnabled() {
+		t.Error("SpansEnabled before EnableSpans")
+	}
+	m := p.Finalize(0)
+	if m.Latency != nil {
+		t.Error("latency breakdown present without EnableSpans")
+	}
+}
+
+// With spans enabled, observations land in the per-phase histograms and
+// (when a log is attached) in the ring.
+func TestSpanRecords(t *testing.T) {
+	p := NewProbe()
+	log := NewSpanLog(8)
+	p.EnableSpans(log)
+	p.Span(SpanMiss, 3, LaneMSHR0, 3, 7, 1000, 250)
+	p.Span(SpanAddrFlight, 1, NetLane(SpanAddrFlight), 3, 7, 1000, 45)
+	m := p.Finalize(0)
+	if m.Latency == nil {
+		t.Fatal("no latency breakdown after spans")
+	}
+	if m.Latency.MissPS.Count != 1 || m.Latency.MissPS.Mean() != 250 {
+		t.Errorf("miss summary = %+v, want count 1 mean 250", m.Latency.MissPS)
+	}
+	if m.Latency.AddrFlightPS.Count != 1 {
+		t.Errorf("addr flight summary = %+v, want count 1", m.Latency.AddrFlightPS)
+	}
+	spans := log.Spans()
+	if len(spans) != 2 || spans[0].Kind != SpanMiss || spans[1].Kind != SpanAddrFlight {
+		t.Fatalf("log spans = %+v", spans)
+	}
+	if spans[0].Node != 3 || spans[0].Seq != 7 || spans[0].Start != 1000 || spans[0].Dur != 250 {
+		t.Errorf("span fields = %+v", spans[0])
+	}
+}
+
+// The ring overwrites oldest-first once full and counts the drops;
+// record order survives the wrap.
+func TestSpanLogWraps(t *testing.T) {
+	log := NewSpanLog(4)
+	for i := 0; i < 10; i++ {
+		log.append(Span{Kind: SpanAccess, Seq: uint64(i)})
+	}
+	if log.Len() != 4 {
+		t.Errorf("Len = %d, want 4", log.Len())
+	}
+	if log.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", log.Dropped())
+	}
+	spans := log.Spans()
+	for i, s := range spans {
+		if want := uint64(6 + i); s.Seq != want {
+			t.Errorf("spans[%d].Seq = %d, want %d (oldest first)", i, s.Seq, want)
+		}
+	}
+}
+
+// Reset empties the log alongside the probe's counters, preserving the
+// ring's capacity (the warmup/measure boundary must not allocate).
+func TestResetClearsSpans(t *testing.T) {
+	p := NewProbe()
+	log := NewSpanLog(4)
+	p.EnableSpans(log)
+	p.Span(SpanMiss, 0, LaneMSHR0, 0, 0, 0, 10)
+	p.Reset()
+	if log.Len() != 0 || log.Dropped() != 0 {
+		t.Errorf("log after Reset: len %d dropped %d, want 0/0", log.Len(), log.Dropped())
+	}
+	if m := p.Finalize(0); m.Latency.MissPS.Count != 0 {
+		t.Errorf("miss count after Reset = %d, want 0", m.Latency.MissPS.Count)
+	}
+}
+
+// The Chrome trace export is one valid JSON document with process/
+// thread metadata and "X" duration events, timestamps in decimal
+// microseconds with no float artifacts.
+func TestWriteChromeTrace(t *testing.T) {
+	log := NewSpanLog(16)
+	log.append(Span{Kind: SpanAccess, Node: 0, TID: LaneCPU, Start: 1_234_567, Dur: 1_000_000})
+	log.append(Span{Kind: SpanMiss, Node: 1, TID: LaneMSHR0, Src: 1, Seq: 9, Start: 2_000_000, Dur: 500_000})
+	log.append(Span{Kind: SpanBufferDwell, Node: -1, TID: NetLane(SpanBufferDwell), Src: 0, Seq: 3, Start: 0, Dur: 42})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var meta, events int
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+			if args, ok := ev["args"].(map[string]any); ok {
+				if n, ok := args["name"].(string); ok {
+					names[n] = true
+				}
+			}
+		case "X":
+			events++
+			for _, field := range []string{"name", "ts", "dur", "pid", "tid"} {
+				if _, ok := ev[field]; !ok {
+					t.Errorf("X event lacks %q: %v", field, ev)
+				}
+			}
+		default:
+			t.Errorf("unexpected phase %v", ev["ph"])
+		}
+	}
+	if events != 3 {
+		t.Errorf("X events = %d, want 3", events)
+	}
+	if meta == 0 {
+		t.Error("no metadata events")
+	}
+	// Negative pids label switches; node pids label nodes; lanes are
+	// named after their role.
+	for _, want := range []string{"switch 0", "node 0", "node 1", "cpu", "mshr 0", "buffer_dwell"} {
+		if !names[want] {
+			t.Errorf("metadata names lack %q (have %v)", want, names)
+		}
+	}
+	// ts 1_234_567 ps must render as 1.234567 µs exactly.
+	if !strings.Contains(buf.String(), `"ts":1.234567`) {
+		t.Errorf("ps->µs formatting wrong:\n%s", buf.String())
+	}
+}

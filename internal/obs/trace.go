@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteChromeTrace renders a span log as Chrome trace-event JSON (the
+// "JSON Array Format" with a traceEvents envelope), directly openable
+// in Perfetto or chrome://tracing. Each simulated node becomes one
+// process (pid) and each lane within it one thread (tid): MSHR slots
+// for protocol phases, one lane per phase kind for network phases.
+// Simulated picoseconds map onto the trace's microsecond timeline as
+// ts = ps / 1e6, so one trace microsecond is one simulated
+// microsecond.
+//
+// This runs once, after the simulation; it is not part of the
+// deterministic Metrics snapshot (the ring truncates under load, and
+// the export is a debugging artifact, not a measurement).
+func WriteChromeTrace(w io.Writer, l *SpanLog) error {
+	bw := bufio.NewWriter(w)
+	spans := l.Spans()
+
+	// Metadata events name each process and thread so Perfetto's
+	// track labels read "node 3" / "mshr 0" instead of bare numbers.
+	type lane struct{ pid, tid int32 }
+	laneSet := make(map[lane]bool)
+	pids := make(map[int32]bool)
+	for _, s := range spans {
+		pids[s.Node] = true
+		laneSet[lane{s.Node, s.TID}] = true
+	}
+	sortedPids := make([]int32, 0, len(pids))
+	for pid := range pids {
+		sortedPids = append(sortedPids, pid)
+	}
+	sort.Slice(sortedPids, func(i, j int) bool { return sortedPids[i] < sortedPids[j] })
+	lanes := make([]lane, 0, len(laneSet))
+	for ln := range laneSet {
+		lanes = append(lanes, ln)
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		if lanes[i].pid != lanes[j].pid {
+			return lanes[i].pid < lanes[j].pid
+		}
+		return lanes[i].tid < lanes[j].tid
+	})
+
+	fmt.Fprint(bw, `{"traceEvents":[`)
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	for _, pid := range sortedPids {
+		emit(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"%s"}}`, pid, pidName(pid))
+	}
+	for _, ln := range lanes {
+		emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}`, ln.pid, ln.tid, laneName(ln.tid))
+	}
+	for _, s := range spans {
+		emit(`{"name":"%s","ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{"src":%d,"seq":%d}}`,
+			s.Kind, usec(s.Start), usec(s.Dur), s.Node, s.TID, s.Src, s.Seq)
+	}
+	fmt.Fprint(bw, "]}\n")
+	return bw.Flush()
+}
+
+// pidName labels a process: endpoints are nodes, switches record with
+// negative pids (-(sw+1)) since their id space overlaps the nodes'.
+func pidName(pid int32) string {
+	if pid < 0 {
+		return fmt.Sprintf("switch %d", -pid-1)
+	}
+	return fmt.Sprintf("node %d", pid)
+}
+
+// laneName labels a tid under the fixed lane scheme (see span.go):
+// the processor lane, MSHR slots, then one lane per network phase.
+func laneName(tid int32) string {
+	switch {
+	case tid == LaneCPU:
+		return "cpu"
+	case tid < laneNet:
+		return fmt.Sprintf("mshr %d", tid-LaneMSHR0)
+	default:
+		return SpanKind(tid - laneNet).String()
+	}
+}
+
+// usec renders picoseconds as a decimal microsecond string without
+// float formatting artifacts (1234567 ps -> "1.234567").
+func usec(ps int64) string {
+	if ps < 0 {
+		ps = 0
+	}
+	return fmt.Sprintf("%d.%06d", ps/1_000_000, ps%1_000_000)
+}

@@ -11,6 +11,7 @@ package processor
 
 import (
 	"tsnoop/internal/coherence"
+	"tsnoop/internal/obs"
 	"tsnoop/internal/sim"
 	"tsnoop/internal/stats"
 	"tsnoop/internal/timing"
@@ -41,6 +42,12 @@ type Processor struct {
 	// only typed events and allocates nothing.
 	pending workload.Access
 	doneFn  func(coherence.AccessResult)
+
+	// probe is the optional telemetry hook (nil = one branch per
+	// access); issuedAt timestamps the in-flight access for its
+	// lifecycle span.
+	probe    *obs.Probe
+	issuedAt sim.Time
 }
 
 // New creates a processor for node id executing quota memory operations.
@@ -54,6 +61,9 @@ func New(k *sim.Kernel, id int, proto coherence.Protocol, gen workload.Generator
 	p.doneFn = p.accessDone
 	return p
 }
+
+// SetProbe attaches (or, with nil, detaches) the telemetry probe.
+func (p *Processor) SetProbe(pr *obs.Probe) { p.probe = pr }
 
 // Start begins execution at the current simulated time.
 func (p *Processor) Start() { p.step() }
@@ -84,6 +94,7 @@ func (p *Processor) step() {
 func issueAccess(a0, a1 any, i0 int64) {
 	p := a0.(*Processor)
 	p.run.MemOps++
+	p.issuedAt = p.k.Now()
 	p.proto.Access(p.id, p.pending.Op, p.pending.Block, p.doneFn)
 }
 
@@ -92,6 +103,11 @@ func issueAccess(a0, a1 any, i0 int64) {
 func (p *Processor) accessDone(r coherence.AccessResult) {
 	if r.Hit {
 		p.run.L2Hits++
+	}
+	if pr := p.probe; pr != nil {
+		now := p.k.Now()
+		pr.Span(obs.SpanAccess, int32(p.id), obs.LaneCPU, int32(p.id), 0,
+			int64(p.issuedAt), int64(now-p.issuedAt))
 	}
 	p.executed++
 	p.step()

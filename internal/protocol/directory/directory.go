@@ -619,6 +619,10 @@ func (n *node) complete() {
 	block, supplier, latency, done := ms.block, ms.supplier, now-ms.issuedAt, ms.done
 	if pr := n.p.probe; pr != nil {
 		pr.MissWait(int64(latency))
+		// The directory protocol has no ordering point or address
+		// broadcast, so its lifecycle breakdown is the miss total only
+		// (plus the shared data-fabric flight spans).
+		pr.Span(obs.SpanMiss, int32(n.id), obs.LaneMSHR0, int32(n.id), 0, int64(ms.issuedAt), int64(latency))
 	}
 	n.p.oracle.Observe(n.id, block, version)
 	done(coherence.AccessResult{

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"tsnoop/internal/coherence"
+	"tsnoop/internal/obs"
 	"tsnoop/internal/sim"
 	"tsnoop/internal/stats"
 	"tsnoop/internal/timing"
@@ -43,6 +44,44 @@ func TestMissAllocs(t *testing.T) {
 
 	if allocs := testing.AllocsPerRun(200, miss); allocs != 0 {
 		t.Errorf("steady-state TS-Snoop miss allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestMissAllocsTraced pins the probes-AND-spans-on budget for the same
+// full miss path: with lifecycle span recording enabled (per-phase
+// histograms plus a pre-sized raw-span ring), the steady state must
+// still not allocate — every Probe.Span call is integer arithmetic into
+// fixed arrays and a ring overwrite.
+func TestMissAllocsTraced(t *testing.T) {
+	topo := topology.MustButterfly(4)
+	k := sim.NewKernel()
+	probe := obs.NewProbe()
+	probe.EnableSpans(obs.NewSpanLog(1 << 12))
+	k.SetProbe(probe)
+	run := &stats.Run{}
+	opts := DefaultOptions(timing.Default())
+	opts.Net.Verify = false
+	opts.Probe = probe
+	opts.Net.Probe = probe
+	p := New(k, topo, timing.Default(), run, nil, opts)
+	k.RunUntil(100 * sim.Nanosecond)
+
+	const block = coherence.Block(42)
+	done := false
+	doneFn := func(coherence.AccessResult) { done = true }
+	node := 0
+	miss := func() {
+		done = false
+		p.Access(node, coherence.Store, block, doneFn)
+		node = 1 - node
+		k.RunWhile(func() bool { return !done })
+	}
+	for i := 0; i < 8; i++ {
+		miss()
+	}
+
+	if allocs := testing.AllocsPerRun(200, miss); allocs != 0 {
+		t.Errorf("span-traced steady-state TS-Snoop miss allocates %v/op, want 0", allocs)
 	}
 }
 

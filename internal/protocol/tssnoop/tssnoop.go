@@ -839,6 +839,21 @@ func (n *node) complete(m *mshr) {
 	block, supplier, latency, done := m.block, m.supplier, now-m.issuedAt, m.done
 	if pr := n.p.probe; pr != nil {
 		pr.MissWait(int64(latency))
+		// Lifecycle spans, all on the node's MSHR lane (tid 1; the
+		// blocking protocol has one MSHR slot per node): the whole miss,
+		// the slice spent waiting for the ordering point, and the data
+		// phase relative to it. A MOSI self-upgrade (selfData) moves no
+		// data, so it records no data phase.
+		id, lane := int32(n.id), obs.LaneMSHR0
+		pr.Span(obs.SpanMiss, id, lane, id, 0, int64(m.issuedAt), int64(latency))
+		pr.Span(obs.SpanOrderWait, id, lane, id, 0, int64(m.issuedAt), int64(m.orderedAt-m.issuedAt))
+		if !m.selfData {
+			if m.dataAt >= m.orderedAt {
+				pr.Span(obs.SpanDataAfterOrder, id, lane, id, 0, int64(m.orderedAt), int64(m.dataAt-m.orderedAt))
+			} else {
+				pr.Span(obs.SpanDataBeforeOrder, id, lane, id, 0, int64(m.dataAt), int64(m.orderedAt-m.dataAt))
+			}
+		}
 	}
 	n.p.oracle.Observe(n.id, block, version)
 	done(coherence.AccessResult{

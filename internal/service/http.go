@@ -24,6 +24,8 @@ import (
 //	POST /v1/sweeps   {"sweep": kind, "spec": Spec} -> NDJSON sweep points
 //	GET  /v1/jobs     all retained jobs
 //	GET  /v1/jobs/{id} one job's status, progress, and phase spans
+//	GET  /v1/traces   retained request traces, newest first
+//	GET  /v1/traces/{id} one request's wall-clock trace
 //	GET  /healthz     liveness: version, uptime, store and queue counters
 //	GET  /readyz      readiness: 503 before serve is up and during drain
 //	GET  /metrics     Prometheus text exposition (format 0.0.4)
@@ -33,6 +35,15 @@ import (
 // (attached to an identical in-flight job), or "miss" (computed by a
 // new job, named by X-Tsnoop-Job). On a cluster member, a run answered
 // by another node also carries X-Tsnoop-Remote naming the owning peer.
+//
+// Every response (any route, any status) carries X-Tsnoop-Trace: the
+// request's trace ID, generated at the entry node or propagated from a
+// forwarding peer. The finished trace — wall-clock phase spans for
+// routing, store lookups, forward hops, queue wait, simulation, and
+// store writes — is retained in a bounded per-node ring and served on
+// GET /v1/traces/{id}. A forwarded run's response also carries
+// X-Tsnoop-Trace-Spans (the owner's span list as JSON), which the
+// entry node embeds into its own trace as remote_spans.
 // Streaming responses are application/x-ndjson; a mid-stream failure
 // appends a final {"error": "..."} line, since the status code has
 // already been sent.
@@ -64,6 +75,8 @@ func NewHandler(sv *Service) http.Handler {
 	mux.HandleFunc("POST /v1/sweeps", sv.handleSweeps)
 	mux.HandleFunc("GET /v1/jobs", sv.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", sv.handleJob)
+	mux.HandleFunc("GET /v1/traces", sv.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", sv.handleTrace)
 	return sv.instrument(mux)
 }
 
@@ -141,6 +154,14 @@ func (sv *Service) handleRuns(w http.ResponseWriter, r *http.Request) {
 	}
 	if res.Remote != "" {
 		h.Set("X-Tsnoop-Remote", res.Remote)
+	}
+	// Answering a forward: ship this node's span list back so the entry
+	// node's trace shows the owner's side of the hop. Headers must go
+	// out before the body, so the spans recorded so far are the set.
+	if r.Header.Get(cluster.ForwardedHeader) != "" {
+		if spans := traceFrom(r.Context()).spansJSON(); spans != "" {
+			h.Set(cluster.TraceSpansHeader, spans)
+		}
 	}
 	w.Write(res.Data)
 	io.WriteString(w, "\n")
@@ -262,6 +283,24 @@ func (sv *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 func (sv *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(sv.Jobs())
+}
+
+// handleTraces lists this node's retained request traces, newest first.
+// The in-flight request's own trace is not in the ring yet — traces
+// land there only after their response finishes.
+func (sv *Service) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sv.traces.all())
+}
+
+func (sv *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr, ok := sv.traces.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown trace %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(tr)
 }
 
 // health is the /healthz document.

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"tsnoop/internal/cluster"
 )
 
 // Service observability: a hand-rolled Prometheus text exposition on
@@ -95,11 +97,27 @@ func (w *observedWriter) Flush() {
 	}
 }
 
-// instrument wraps the API mux with request counting and (when a logger
-// is configured) one access-log record per finished request.
+// instrument wraps the API mux with request tracing, request counting,
+// and (when a logger is configured) one access-log record per finished
+// request. Because it wraps the WHOLE mux — not individual handlers —
+// every response takes exactly one pass through this function: 404s,
+// 429 sheds, forward-error fallbacks, and streamed answers all count
+// once and log once, with the same trace ID the response header
+// carries.
 func (sv *Service) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		// A forwarded request arrives with the entry node's trace ID;
+		// anything else gets a fresh one. The ID is echoed on the
+		// response before the handler runs, so even errored responses
+		// carry it.
+		id := r.Header.Get(cluster.TraceHeader)
+		if id == "" {
+			id = newTraceID()
+		}
+		at := newActiveTrace(id, sv.nodeName(), r.Method, r.URL.Path, start)
+		r = r.WithContext(withTrace(r.Context(), at))
+		w.Header().Set(cluster.TraceHeader, id)
 		ow := &observedWriter{ResponseWriter: w}
 		next.ServeHTTP(ow, r)
 		if ow.status == 0 {
@@ -112,6 +130,7 @@ func (sv *Service) instrument(next http.Handler) http.Handler {
 			route = "unmatched"
 		}
 		sv.httpm.observe(route, ow.status)
+		sv.traces.add(at.finish(route, ow.status, time.Since(start)))
 		if sv.logger != nil {
 			sv.logger.Info("request",
 				"method", r.Method,
@@ -120,9 +139,19 @@ func (sv *Service) instrument(next http.Handler) http.Handler {
 				"status", ow.status,
 				"bytes", ow.bytes,
 				"dur_ms", time.Since(start).Milliseconds(),
+				"trace", id,
 			)
 		}
 	})
+}
+
+// nodeName is this node's identity on its traces: the cluster ring
+// address, or empty on a single-node service.
+func (sv *Service) nodeName() string {
+	if sv.cluster == nil {
+		return ""
+	}
+	return sv.cluster.Self()
 }
 
 // promFamily writes one metric family header.

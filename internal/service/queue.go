@@ -41,6 +41,10 @@ type JobStatus struct {
 	// that started it.
 	Waiters int    `json:"waiters"`
 	Error   string `json:"error,omitempty"`
+	// TraceID links the job to the request trace that started it (see
+	// GET /v1/traces/{id}); empty when the submitter was untraced
+	// (direct library use, the -cache CLI path).
+	TraceID string `json:"trace_id,omitempty"`
 	// StoreError records a failed persist of an otherwise successful
 	// job: the result was still served (and the LRU still has it), only
 	// the disk write failed.
@@ -217,12 +221,15 @@ func (q *Queue) Do(ctx context.Context, s spec.Spec) (Result, error) {
 		return Result{}, err
 	}
 	// The store's contract is byte-identical payloads per canonical key,
-	// and Normalize clears the metrics knob (an instrumented run is the
-	// same experiment), so a metrics-bearing rendering could collide with
-	// the plain one under the same key. The service answers the
-	// experiment; telemetry stays a local-CLI concern.
+	// and Normalize clears the metrics and spans knobs (an instrumented
+	// run is the same experiment), so an instrumented rendering could
+	// collide with the plain one under the same key. The service answers
+	// the experiment; telemetry stays a local-CLI concern.
 	s.Metrics = false
+	s.Spans = false
+	at := traceFrom(ctx)
 	key := s.Canonical()
+	getStart := time.Now()
 	if data, ok, err := q.store.Get(key); err != nil {
 		return Result{}, err
 	} else if ok {
@@ -230,8 +237,10 @@ func (q *Queue) Do(ctx context.Context, s spec.Spec) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("service: stored result %s is unreadable: %w", key[:12], err)
 		}
+		at.span("store_get", getStart, "hit")
 		return Result{Key: key, Data: data, Run: run, Cached: true}, nil
 	}
+	at.span("store_get", getStart, "miss")
 
 	q.mu.Lock()
 	if f, ok := q.flights[key]; ok {
@@ -239,7 +248,7 @@ func (q *Queue) Do(ctx context.Context, s spec.Spec) (Result, error) {
 		q.mu.Unlock()
 		return q.wait(ctx, key, f, true)
 	}
-	f := &flight{job: q.newJobLocked(key, s), done: make(chan struct{})}
+	f := &flight{job: q.newJobLocked(key, s, TraceID(ctx)), done: make(chan struct{})}
 	q.flights[key] = f
 	q.inflight.Add(1)
 	q.mu.Unlock()
@@ -254,7 +263,11 @@ func (q *Queue) wait(ctx context.Context, key string, f *flight, shared bool) (R
 		if f.err != nil {
 			return Result{}, f.err
 		}
-		return Result{Key: key, JobID: f.job.snapshot().ID, Data: f.data, Run: f.run, Shared: shared}, nil
+		st := f.job.snapshot()
+		// The job's wall-clock phases tile into the waiting request's
+		// trace; a joined request shows the shared job's phases too.
+		traceFrom(ctx).phases(st.ID, st.Spans)
+		return Result{Key: key, JobID: st.ID, Data: f.data, Run: f.run, Shared: shared}, nil
 	case <-ctx.Done():
 		return Result{}, ctx.Err()
 	}
@@ -263,13 +276,14 @@ func (q *Queue) wait(ctx context.Context, key string, f *flight, shared bool) (R
 // newJobLocked registers a new job record; q.mu must be held. Finished
 // jobs past the history bound are evicted oldest-first (jobs still
 // queued or running are never evicted).
-func (q *Queue) newJobLocked(key string, s spec.Spec) *job {
+func (q *Queue) newJobLocked(key string, s spec.Spec, traceID string) *job {
 	q.nextID++
 	j := &job{status: JobStatus{
 		ID:      fmt.Sprintf("job-%06d", q.nextID),
 		Key:     key,
 		State:   JobQueued,
 		Spec:    s,
+		TraceID: traceID,
 		Created: time.Now().UTC(),
 	}}
 	q.jobs[j.status.ID] = j

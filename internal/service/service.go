@@ -76,6 +76,9 @@ type Config struct {
 	// and /v1/sweeps; past it new streams are refused with 429 +
 	// Retry-After (0 = cluster.DefaultMaxCells, negative = unlimited).
 	MaxCells int
+	// TraceKeep bounds the retained finished-request trace history on
+	// GET /v1/traces (0 = DefaultTraceKeep).
+	TraceKeep int
 }
 
 // Service is the experiment service: a store fronted by a dedup queue,
@@ -91,6 +94,7 @@ type Service struct {
 	logger  *slog.Logger
 	started time.Time
 	httpm   httpMetrics
+	traces  *traceRing
 
 	// readiness gates /readyz: a node reports 503 before serve marks it
 	// ready (listener + ring up) and again once a drain begins, so load
@@ -121,6 +125,7 @@ func New(cfg Config) (*Service, error) {
 		version:     cfg.Version,
 		logger:      cfg.Logger,
 		started:     time.Now(),
+		traces:      newTraceRing(cfg.TraceKeep),
 		readyReason: "starting",
 	}, nil
 }
@@ -153,19 +158,28 @@ func (sv *Service) do(ctx context.Context, s spec.Spec, local bool) (Result, err
 	// Same key discipline as Queue.Do: the service answers the
 	// experiment; telemetry is a local-CLI concern.
 	s.Metrics = false
+	s.Spans = false
+	at := traceFrom(ctx)
+	routeStart := time.Now()
 	key := s.Canonical()
 	owner, remote := sv.cluster.Route(key)
 	if !remote {
+		at.span("route", routeStart, "local shard")
 		return sv.queue.Do(ctx, s)
 	}
+	at.span("route", routeStart, "owner "+owner)
 	// A replicated hot entry (or an earlier local-fallback compute)
 	// answers without a network hop.
+	getStart := time.Now()
 	if data, ok, err := sv.store.Get(key); err == nil && ok {
 		if run, derr := decodeRun(data); derr == nil {
+			at.span("store_get", getStart, "replicated hit")
 			return Result{Key: key, Data: data, Run: run, Cached: true}, nil
 		}
 	}
-	data, disp, err := sv.cluster.Forward(ctx, owner, s.JSON())
+	at.span("store_get", getStart, "miss")
+	fwdStart := time.Now()
+	fwd, err := sv.cluster.Forward(ctx, owner, s.JSON(), TraceID(ctx))
 	if err != nil {
 		if ctx.Err() != nil {
 			return Result{}, ctx.Err()
@@ -173,23 +187,29 @@ func (sv *Service) do(ctx context.Context, s spec.Spec, local bool) (Result, err
 		// Owner unreachable: a dead peer costs a local simulation,
 		// never a failed stream. The forward error is already on the
 		// cluster counters (cluster_forward_error).
+		at.span("forward", fwdStart, "error, degrading to local: "+err.Error())
 		return sv.queue.Do(ctx, s)
 	}
-	run, derr := decodeRun(data)
+	run, derr := decodeRun(fwd.Data)
 	if derr != nil {
 		// A peer that answers garbage is indistinguishable from a dead
 		// one: count nothing extra, just compute locally.
+		at.span("forward", fwdStart, "unreadable answer, degrading to local")
 		return sv.queue.Do(ctx, s)
 	}
-	sv.store.Remember(key, data)
+	at.span("forward", fwdStart, owner+" "+fwd.Disposition)
+	at.setRemote(owner, fwd.RemoteSpans)
+	remStart := time.Now()
+	sv.store.Remember(key, fwd.Data)
 	sv.cluster.Replicate()
+	at.span("replicate", remStart, "")
 	return Result{
 		Key:    key,
-		Data:   data,
+		Data:   fwd.Data,
 		Run:    run,
 		Remote: owner,
-		Cached: disp == CacheHit,
-		Shared: disp == CacheJoin,
+		Cached: fwd.Disposition == CacheHit,
+		Shared: fwd.Disposition == CacheJoin,
 	}, nil
 }
 

@@ -23,6 +23,9 @@ import (
 //   - Metrics is cleared for the same reason: the telemetry probe
 //     observes the simulation without perturbing it, so an
 //     instrumented run is the same experiment as a bare one.
+//   - Spans is cleared for the same reason again: lifecycle span
+//     recording reads timestamps the simulation already produces and
+//     never feeds back into it.
 //   - A zero QuotaScale/WarmupScale means "unscaled" (see Config's quota
 //     resolution) and becomes the equivalent explicit 1.
 //   - Every negative Warmup requests the same explicitly empty warm-up
@@ -36,6 +39,7 @@ func (s Spec) Normalize() Spec {
 	s.Workers = 0
 	s.Verify = false
 	s.Metrics = false
+	s.Spans = false
 	if s.QuotaScale == 0 {
 		s.QuotaScale = 1
 	}

@@ -97,3 +97,20 @@ func TestCanonicalStableAcrossMetricsKnob(t *testing.T) {
 		t.Error("default spec JSON should omit the metrics field (store-key stability)")
 	}
 }
+
+// The spans knob (transaction-lifecycle tracing) follows the same
+// contract: a traced run is the same experiment, so neither the
+// canonical hash nor the default JSON may move.
+func TestCanonicalStableAcrossTraceKnob(t *testing.T) {
+	const pr4Default = "54bede6ba4a5e463b291a0464f4557afadb95d5a952191eee278d96e7c6c3896"
+	if got := Default().Canonical(); got != pr4Default {
+		t.Errorf("Default().Canonical() = %s, want the pre-spans-knob hash %s", got, pr4Default)
+	}
+	s := New("barnes", WithSpans())
+	if s.Canonical() != New("barnes").Canonical() {
+		t.Error("WithSpans changed the canonical hash; traced and bare runs are the same experiment")
+	}
+	if bytes.Contains(Default().JSON(), []byte("spans")) {
+		t.Error("default spec JSON should omit the spans field (store-key stability)")
+	}
+}

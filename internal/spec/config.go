@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"tsnoop/internal/obs"
 	"tsnoop/internal/parallel"
 	"tsnoop/internal/sim"
 	"tsnoop/internal/stats"
@@ -80,6 +81,7 @@ func (s Spec) ConfigFor(gen workload.Generator) (system.Config, error) {
 	cfg.PredictorSize = s.PredictorSize
 	cfg.Verify = s.Verify
 	cfg.Metrics = s.Metrics
+	cfg.Spans = s.Spans
 	if s.BlockBytes > 0 {
 		cfg.Cache.BlockBytes = s.BlockBytes
 	}
@@ -110,11 +112,27 @@ func (s Spec) ConfigFor(gen workload.Generator) (system.Config, error) {
 }
 
 // runOne executes a single simulation of the spec (no seed fan-out).
-func (s Spec) runOne() (*stats.Run, error) {
+func (s Spec) runOne() (*stats.Run, error) { return s.runOneLogged(nil) }
+
+// RunTraced executes a single simulation with lifecycle spans captured
+// into log (the -trace-out path). Seed fan-outs are rejected: one span
+// log describes one simulation, and sharing a ring across concurrent
+// seeds would interleave them.
+func (s Spec) RunTraced(log *obs.SpanLog) (*stats.Run, error) {
+	if s.Seeds > 1 {
+		return nil, fmt.Errorf("spec: span capture requires a single seed (got seeds=%d)", s.Seeds)
+	}
+	s.Spans = true
+	return s.runOneLogged(log)
+}
+
+// runOneLogged is runOne with an optional caller-owned span ring.
+func (s Spec) runOneLogged(log *obs.SpanLog) (*stats.Run, error) {
 	cfg, gen, err := s.Config()
 	if err != nil {
 		return nil, err
 	}
+	cfg.SpanLog = log
 	sys, err := system.Build(cfg, gen)
 	if err != nil {
 		return nil, err

@@ -61,6 +61,7 @@ func (s *Spec) Bind(fs *flag.FlagSet) {
 	fs.IntVar(&s.PredictorSize, "predictor", s.PredictorSize, "multicast predictor entries (0 unbounded, <0 disabled)")
 	fs.BoolVar(&s.Verify, "verify", s.Verify, "enable the address network's internal ordering assertions (TS-Snoop)")
 	fs.BoolVar(&s.Metrics, "metrics", s.Metrics, "record deterministic simulator telemetry (kernel, network, protocol) in the result")
+	fs.BoolVar(&s.Spans, "spans", s.Spans, "record transaction-lifecycle spans (adds the latency_breakdown metrics section)")
 	fs.IntVar(&s.BlockBytes, "block-bytes", s.BlockBytes, "cache block size override in bytes (0 = default)")
 	fs.IntVar(&s.CacheBytes, "cache-bytes", s.CacheBytes, "per-node cache capacity override in bytes (0 = default)")
 }
@@ -103,6 +104,7 @@ func (s Spec) Args() []string {
 		"-predictor", strconv.Itoa(s.PredictorSize),
 		"-verify=" + b(s.Verify),
 		"-metrics=" + b(s.Metrics),
+		"-spans=" + b(s.Spans),
 		"-block-bytes", strconv.Itoa(s.BlockBytes),
 		"-cache-bytes", strconv.Itoa(s.CacheBytes),
 	}

@@ -1,0 +1,90 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tsnoop/internal/obs"
+)
+
+func specWithSpans(workers int) Spec {
+	s := New("barnes",
+		WithNodes(4),
+		WithSeeds(3),
+		WithWorkers(workers),
+		WithMetrics(),
+		WithSpans(),
+	)
+	s.Warmup = 50
+	s.Quota = 200
+	return s
+}
+
+// The latency_breakdown section is simulated-time aggregation only, so
+// the full Run JSON — breakdown included — must be byte-identical at
+// any worker count. This is the observability contract: tracing a run
+// never perturbs it, and fan-out concurrency never leaks into results.
+func TestLatencyBreakdownDeterministicAcrossWorkers(t *testing.T) {
+	marshal := func(workers int) []byte {
+		run, err := specWithSpans(workers).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	one := marshal(1)
+	many := marshal(4)
+	if !bytes.Equal(one, many) {
+		t.Errorf("run JSON differs between -workers 1 and -workers 4:\n%s\nvs\n%s", one, many)
+	}
+	if !bytes.Contains(one, []byte(`"latency_breakdown"`)) {
+		t.Error("spans-on run JSON lacks the latency_breakdown section")
+	}
+}
+
+// Without the spans knob the breakdown must be absent — a metrics-only
+// snapshot stays byte-compatible with its pre-tracing shape.
+func TestLatencyBreakdownAbsentWithoutKnob(t *testing.T) {
+	s := specWithSpans(1)
+	s.Spans = false
+	run, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("latency_breakdown")) {
+		t.Error("metrics-only run JSON grew a latency_breakdown section")
+	}
+}
+
+// RunTraced captures raw spans for -trace-out; it owns the single-seed
+// restriction (a shared ring across concurrent seeds would interleave).
+func TestRunTraced(t *testing.T) {
+	s := specWithSpans(1)
+	s.Seeds = 1
+	s.Spans = false // RunTraced must imply it
+	log := obs.NewSpanLog(1 << 16)
+	run, err := s.RunTraced(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() == 0 {
+		t.Error("RunTraced captured no spans")
+	}
+	if run.Metrics == nil || run.Metrics.Latency == nil {
+		t.Error("RunTraced run lacks the latency breakdown")
+	}
+
+	s.Seeds = 3
+	if _, err := s.RunTraced(log); err == nil {
+		t.Error("RunTraced accepted a seed fan-out")
+	}
+}

@@ -109,6 +109,14 @@ type Spec struct {
 	// Canonical() store key.
 	Metrics bool `json:"metrics,omitempty"`
 
+	// Spans additionally enables transaction-lifecycle span recording:
+	// the probe aggregates per-phase latency histograms, surfaced as
+	// the metrics block's "latency_breakdown" section. Pure
+	// instrumentation like Verify and Metrics, with the same omitempty
+	// exception: Normalize clears it, so tracing a spec never changes
+	// its Canonical() store key.
+	Spans bool `json:"spans,omitempty"`
+
 	// Cache geometry overrides (0 = the paper's 4 MB / 64 B default).
 	BlockBytes int `json:"block_bytes"`
 	CacheBytes int `json:"cache_bytes"`
@@ -209,6 +217,11 @@ func WithVerify() Option { return func(s *Spec) { s.Verify = true } }
 // WithMetrics attaches the deterministic telemetry probe to the run
 // (instrumentation only; statistics are identical either way).
 func WithMetrics() Option { return func(s *Spec) { s.Metrics = true } }
+
+// WithSpans enables transaction-lifecycle span recording and the
+// latency_breakdown metrics section (instrumentation only; statistics
+// are identical either way).
+func WithSpans() Option { return func(s *Spec) { s.Spans = true } }
 
 // WithBlockBytes overrides the cache block size.
 func WithBlockBytes(n int) Option { return func(s *Spec) { s.BlockBytes = n } }

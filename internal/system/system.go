@@ -71,6 +71,18 @@ type Config struct {
 	// the measured phase. Everything the probe records derives from
 	// simulated time, so the snapshot is deterministic.
 	Metrics bool
+	// Spans additionally enables transaction-lifecycle span recording
+	// on the probe (implying a probe even when Metrics is off): the
+	// per-phase latency histograms surface as the metrics snapshot's
+	// latency_breakdown section. Like Metrics, spans derive from
+	// simulated time only and are deterministic.
+	Spans bool
+	// SpanLog, when non-nil and Spans is set, captures the raw span
+	// stream into a caller-owned bounded ring (the -trace-out Chrome
+	// export). The ring is not part of the deterministic snapshot.
+	// Callers running seed fan-outs must not share one ring across
+	// concurrent systems; the single-seed -trace-out path owns it.
+	SpanLog *obs.SpanLog
 	// UseOwnedState upgrades TS-Snoop from MSI to MOSI (the paper's
 	// Section 3 extension; see tssnoop.Options).
 	UseOwnedState bool
@@ -149,8 +161,11 @@ func Build(cfg Config, gen workload.Generator) (*System, error) {
 	run := &stats.Run{}
 	oracle := coherence.NewOracle()
 	var probe *obs.Probe
-	if cfg.Metrics {
+	if cfg.Metrics || cfg.Spans {
 		probe = obs.NewProbe()
+		if cfg.Spans {
+			probe.EnableSpans(cfg.SpanLog)
+		}
 		k.SetProbe(probe)
 	}
 
@@ -245,6 +260,7 @@ func (s *System) runPhase(quota int) sim.Time {
 				last = s.K.Now()
 			}
 		})
+		p.SetProbe(s.probe)
 		p.Start()
 	}
 	s.K.RunWhile(func() bool { return remaining > 0 })

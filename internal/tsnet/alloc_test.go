@@ -89,6 +89,46 @@ func TestBroadcastAllocsWithProbe(t *testing.T) {
 	}
 }
 
+// TestBroadcastAllocsTraced pins the spans-on budget for the address
+// network: with lifecycle span capture enabled (addr_flight and
+// reorder_dwell per broadcast, into a pre-sized ring), the steady-state
+// broadcast must still allocate nothing.
+func TestBroadcastAllocsTraced(t *testing.T) {
+	topo := topology.MustButterfly(4)
+	k := sim.NewKernel()
+	probe := obs.NewProbe()
+	probe.EnableSpans(obs.NewSpanLog(1 << 12))
+	k.SetProbe(probe)
+	run := &stats.Run{}
+	cfg := DefaultConfig()
+	cfg.Verify = false
+	cfg.Probe = probe
+	net := New(k, topo, cfg, &run.Traffic, run)
+	delivered := 0
+	for ep := 0; ep < topo.Nodes(); ep++ {
+		net.Register(ep, func(int, uint64, any, sim.Time) { delivered++ }, nil)
+	}
+	net.Start()
+	k.RunUntil(100 * sim.Nanosecond)
+	src := 0
+	for i := 0; i < 8; i++ {
+		want := delivered + topo.Nodes()
+		net.Inject(src, nil)
+		src = (src + 1) % topo.Nodes()
+		k.RunWhile(func() bool { return delivered < want })
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		want := delivered + topo.Nodes()
+		net.Inject(src, nil)
+		src = (src + 1) % topo.Nodes()
+		k.RunWhile(func() bool { return delivered < want })
+	})
+	if allocs != 0 {
+		t.Errorf("span-traced steady-state broadcast allocates %v/op, want 0", allocs)
+	}
+}
+
 // TestContendedBufferCapacityStabilizes pins the backing-array reuse of
 // the switch transaction buffers and endpoint reorder queues: under
 // sustained contended load, the capacities reached after a warm-up burst

@@ -534,6 +534,10 @@ func (e *epState) arriveTxn(t *txn) {
 	}
 	if p := e.net.probe; p != nil {
 		p.ReorderOcc(e.queue.len())
+		// One addr_flight span per endpoint delivery: this copy's
+		// injection-to-arrival transit, observed at the arriving node.
+		p.Span(obs.SpanAddrFlight, int32(e.id), obs.NetLane(obs.SpanAddrFlight), int32(t.src), t.seq,
+			int64(t.sent), int64(e.net.k.Now()-t.sent))
 	}
 	e.net.freeTxn(t)
 }
@@ -554,6 +558,12 @@ func deliverOrdered(a0, a1 any, i0 int64) {
 func (e *epState) process(q queued) {
 	if e.net.run != nil {
 		e.net.run.OrderingDelay.Observe(e.net.k.Now() - q.arrived)
+	}
+	if p := e.net.probe; p != nil {
+		// reorder_dwell: physical arrival to in-order processing at
+		// this endpoint's reorder queue.
+		p.Span(obs.SpanReorderDwell, int32(e.id), obs.NetLane(obs.SpanReorderDwell), int32(q.src), q.seq,
+			int64(q.arrived), int64(e.net.k.Now()-q.arrived))
 	}
 	if e.net.TestHook != nil {
 		e.net.TestHook(e.id, q.src, q.seq, e.gt, q.dueTick)

@@ -21,7 +21,10 @@ type bufEntry struct {
 	mask    uint64
 	payload any
 	sent    sim.Time
-	dbg     *txnDebug
+	// enq is when the copy entered the buffer (contention mode); the
+	// probe's buffer_dwell span measures enq to departure.
+	enq sim.Time
+	dbg *txnDebug
 }
 
 // swState is a network switch: token counters per input port, a
@@ -120,6 +123,7 @@ func (s *swState) arriveTxn(in topology.LinkID, t *txn) {
 			dbg:     t.dbg,
 		}
 		if s.net.cfg.Contention {
+			e.enq = s.net.k.Now()
 			s.buffered = append(s.buffered, e)
 			if p := s.net.probe; p != nil {
 				p.BufferOcc(len(s.buffered))
@@ -210,6 +214,11 @@ func (s *swState) servePort(link topology.LinkID) {
 	s.buffered = s.buffered[:n]
 	if p := s.net.probe; p != nil {
 		p.BufferOcc(len(s.buffered))
+		// buffer_dwell: how long this copy waited for its output port.
+		// Switch ids overlap node ids, so switch spans use negative
+		// pids (-(id+1)); the trace writer labels them "switch N".
+		p.Span(obs.SpanBufferDwell, -int32(s.id)-1, obs.NetLane(obs.SpanBufferDwell),
+			int32(e.src), e.seq, int64(e.enq), int64(s.net.k.Now()-e.enq))
 	}
 	s.nextFree[pos] = s.net.k.Now() + s.net.cfg.SerTime
 	s.depart(&e)
