@@ -9,12 +9,14 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
 	"tsnoop/internal/cluster"
+	"tsnoop/internal/fault"
 	"tsnoop/internal/service"
 )
 
@@ -57,11 +59,26 @@ var serveCmd = &command{
 		peers := fs.String("peers", "", "comma-separated cluster member list (host:port), identical on every node; empty = single node")
 		self := fs.String("self", "", "this node's entry in -peers (default: the -addr value)")
 		maxCells := fs.Int("max-cells", 0, "in-flight streamed-cell budget before 429 (0 = default, negative = unlimited)")
+		breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive forward failures that trip a peer's circuit breaker (0 = default, negative = breakers off)")
+		breakerCooldown := fs.Duration("breaker-cooldown", 0, "how long a tripped breaker stays open before a half-open probe (0 = default)")
+		faults := fs.String("faults", "", "fault-injection schedule, e.g. seed=7;store.get.corrupt=times:2 (default: $TSNOOP_FAULTS; chaos testing only)")
 		return func(ctx context.Context, stdout, stderr io.Writer) error {
 			// The interrupt context from main covers Ctrl-C; production
 			// supervisors send SIGTERM, so drain on that too.
 			ctx, stop := signal.NotifyContext(ctx, syscall.SIGTERM)
 			defer stop()
+			schedule := *faults
+			if schedule == "" {
+				schedule = os.Getenv("TSNOOP_FAULTS")
+			}
+			if schedule != "" {
+				fset, err := fault.Parse(schedule)
+				if err != nil {
+					return fmt.Errorf("serve: %w", err)
+				}
+				fault.Enable(fset)
+				fmt.Fprintf(stderr, "tsnoop: FAULT INJECTION ACTIVE: %s\n", fset)
+			}
 			var cl *cluster.Cluster
 			if *peers != "" {
 				me := *self
@@ -70,9 +87,11 @@ var serveCmd = &command{
 				}
 				var err error
 				cl, err = cluster.New(cluster.Config{
-					Self:    me,
-					Members: strings.Split(*peers, ","),
-					Client:  cluster.NewHTTPClient(cluster.DefaultTimeouts()),
+					Self:             me,
+					Members:          strings.Split(*peers, ","),
+					Client:           cluster.NewHTTPClient(cluster.DefaultTimeouts()),
+					BreakerThreshold: *breakerThreshold,
+					BreakerCooldown:  *breakerCooldown,
 				})
 				if err != nil {
 					return fmt.Errorf("serve: %w", err)
@@ -97,7 +116,15 @@ var serveCmd = &command{
 			if err != nil {
 				return err
 			}
-			srv := &http.Server{Handler: service.NewHandler(sv)}
+			// Slowloris hardening: a client that trickles header bytes (or
+			// parks an idle keep-alive connection forever) is cut off at
+			// the server edge. No overall write timeout — NDJSON streams
+			// legitimately run as long as the experiment does.
+			srv := &http.Server{
+				Handler:           service.NewHandler(sv),
+				ReadHeaderTimeout: 10 * time.Second,
+				IdleTimeout:       2 * time.Minute,
+			}
 			fmt.Fprintf(stderr, "tsnoop: serving on http://%s\n", ln.Addr())
 			if *cacheDir != "" {
 				fmt.Fprintf(stderr, "tsnoop: results persist in %s\n", *cacheDir)

@@ -27,6 +27,11 @@
 // carry //determinism:wallclock (and a hypothetical goroutine,
 // //determinism:goroutine) markers asserting the nondeterminism never
 // reaches result bytes; unmarked uses are still flagged.
+//
+// internal/fault is covered for the same reason: a chaos run must be
+// reproducible from its schedule seed alone, so failpoint decisions may
+// never read the wall clock or global math/rand — injected delays are
+// returned as durations for service-edge call sites to sleep on.
 package determinism
 
 import (
@@ -81,6 +86,7 @@ var deterministic = []string{
 	"tsnoop/internal/spec",
 	"tsnoop/internal/core",
 	"tsnoop/internal/cluster",
+	"tsnoop/internal/fault",
 }
 
 const protocolPrefix = "tsnoop/internal/protocol/"

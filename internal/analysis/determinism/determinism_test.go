@@ -18,5 +18,6 @@ func TestDeterminism(t *testing.T) {
 		"tsnoop/internal/parallel",
 		"tsnoop/internal/service",
 		"tsnoop/internal/cluster",
+		"tsnoop/internal/fault",
 	)
 }

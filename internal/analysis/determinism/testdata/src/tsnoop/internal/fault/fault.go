@@ -1,0 +1,37 @@
+// Fixture for the determinism analyzer's fault-registry coverage: the
+// failpoint package sits inside the deterministic contract (a chaos
+// run must be reproducible from its schedule seed alone), so wall-clock
+// reads and global math/rand are flagged; pure seeded arithmetic and
+// returning configured durations are the sanctioned idioms.
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+func unmarkedClockDecision() bool {
+	return time.Now().UnixNano()%2 == 0 // want `time.Now reads the wall clock`
+}
+
+func randDecision() bool {
+	return rand.Intn(2) == 0 // want `global math/rand`
+}
+
+// decide is the sanctioned shape: a pure function of seed and call
+// index, no clock, no global randomness.
+func decide(seed uint64, k int64) bool {
+	x := seed ^ uint64(k)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	return x%3 == 0
+}
+
+// delayFor returns a configured duration for the caller to sleep on —
+// the registry itself never schedules against the clock.
+func delayFor(d time.Duration, fire bool) time.Duration {
+	if !fire {
+		return 0
+	}
+	return d
+}

@@ -3,13 +3,17 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
+
+	"tsnoop/internal/fault"
 )
 
 // ForwardedHeader marks a request that was already routed by a peer's
@@ -53,7 +57,25 @@ type Config struct {
 	// Backoff is the delay before the first retry, doubling per attempt
 	// (0 = 100ms).
 	Backoff time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// peer's circuit breaker open (0 = DefaultBreakerThreshold;
+	// negative = breakers disabled).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before a
+	// half-open probe is allowed (0 = DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// breakerNow overrides the breakers' clock in tests.
+	breakerNow func() time.Time
 }
+
+// ErrBreakerOpen marks a forward skipped because the peer's breaker is
+// open: the caller degrades to local compute, and the skip is counted
+// separately from forward errors (the peer was not even tried).
+var ErrBreakerOpen = errors.New("cluster: peer breaker open")
+
+// errInjectedRefuse is the cluster.forward.refuse failpoint's error,
+// shaped like a real refused connection.
+var errInjectedRefuse = fmt.Errorf("fault: injected dial error: %w", syscall.ECONNREFUSED)
 
 // peerCounters accumulate one peer's forwarding traffic.
 type peerCounters struct {
@@ -70,6 +92,11 @@ type Cluster struct {
 	client  *http.Client
 	retries int
 	backoff time.Duration
+
+	// breakers holds one circuit breaker per remote peer, pre-registered
+	// in New alongside the counters; the map is never written after New,
+	// so reads need no lock.
+	breakers map[string]*breaker
 
 	mu         sync.Mutex
 	peers      map[string]*peerCounters
@@ -98,12 +125,13 @@ func New(cfg Config) (*Cluster, error) {
 		backoff = 100 * time.Millisecond
 	}
 	c := &Cluster{ring: ring, client: client, retries: retries, backoff: backoff,
-		peers: make(map[string]*peerCounters)}
+		peers: make(map[string]*peerCounters), breakers: make(map[string]*breaker)}
 	// Pre-register every peer so Stats (and the /metrics exposition) is
 	// a fixed, deterministic series set from the first scrape.
 	for _, m := range ring.Members() {
 		if m != ring.Self() {
 			c.peers[m] = &peerCounters{}
+			c.breakers[m] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.breakerNow)
 		}
 	}
 	return c, nil
@@ -141,7 +169,17 @@ type Forwarded struct {
 // counted on the peer and returned as an error for the caller to
 // degrade on — the repo-wide rule is that a dead peer costs a local
 // simulation, never a failed stream.
+//
+// A peer whose circuit breaker is open is not tried at all: Forward
+// returns ErrBreakerOpen immediately (a skip, not a forward error) so
+// the caller computes locally without paying the dial/retry tax for a
+// peer already known to be failing. Forward outcomes feed the breaker:
+// consecutive failures trip it, a successful half-open probe closes it.
 func (c *Cluster) Forward(ctx context.Context, peer string, specJSON []byte, traceID string) (Forwarded, error) {
+	br := c.breakers[peer]
+	if br != nil && !br.allow() {
+		return Forwarded{}, fmt.Errorf("%w: %s", ErrBreakerOpen, peer)
+	}
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
@@ -151,6 +189,9 @@ func (c *Cluster) Forward(ctx context.Context, peer string, specJSON []byte, tra
 		}
 		fwd, ferr, retryable := c.forwardOnce(ctx, peer, specJSON, traceID)
 		if ferr == nil {
+			if br != nil {
+				br.success()
+			}
 			c.recordForward(peer, fwd.Disposition)
 			return fwd, nil
 		}
@@ -159,14 +200,45 @@ func (c *Cluster) Forward(ctx context.Context, peer string, specJSON []byte, tra
 			break
 		}
 	}
+	if br != nil {
+		br.failure()
+	}
 	c.recordError(peer)
 	return Forwarded{}, lastErr
+}
+
+// Suspect records that peer's "successful" forward produced an
+// unusable answer (a body the entry node could not decode): the
+// breaker treats it as a failure even though the HTTP exchange
+// succeeded, so a peer that keeps answering garbage trips open just
+// like one that refuses connections. The degraded forward is also
+// counted as a peer error.
+func (c *Cluster) Suspect(peer string) {
+	if br := c.breakers[peer]; br != nil {
+		br.failure()
+	}
+	c.mu.Lock()
+	c.counters(peer).errors++
+	c.mu.Unlock()
 }
 
 // forwardOnce performs a single forwarding attempt. retryable
 // classifies the failure: connection trouble and 5xx/429 responses may
 // clear up, 4xx responses will not.
 func (c *Cluster) forwardOnce(ctx context.Context, peer string, specJSON []byte, traceID string) (fwd Forwarded, err error, retryable bool) {
+	if f := fault.Active(); f != nil {
+		if d := f.Delay(fault.ClusterLatency); d > 0 {
+			if serr := sleep(ctx, d); serr != nil {
+				return Forwarded{}, fmt.Errorf("cluster: forward to %s: %w", peer, serr), false
+			}
+		}
+		if f.Fire(fault.ClusterDialRefuse) {
+			return Forwarded{}, fmt.Errorf("cluster: forward to %s: %w", peer, errInjectedRefuse), true
+		}
+		if f.Fire(fault.Cluster5xx) {
+			return Forwarded{}, fmt.Errorf("cluster: peer %s answered 502 Bad Gateway (injected)", peer), true
+		}
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		"http://"+peer+"/v1/runs", bytes.NewReader(specJSON))
 	if err != nil {
@@ -194,6 +266,12 @@ func (c *Cluster) forwardOnce(ctx context.Context, peer string, specJSON []byte,
 	}
 	if len(data) > maxForwardBody {
 		return Forwarded{}, fmt.Errorf("cluster: peer %s response exceeds %d bytes", peer, maxForwardBody), false
+	}
+	// The cluster.forward.truncate failpoint cuts the body mid-document
+	// after a fully "successful" exchange — the garbage-answering-peer
+	// shape the entry node's decode check and Suspect exist for.
+	if f := fault.Active(); f != nil {
+		data, _ = f.Truncate(fault.ClusterTruncate, data)
 	}
 	// The runs handler terminates the JSON document with one newline;
 	// strip it so forwarded bytes equal a local Result.Data exactly.
@@ -248,9 +326,19 @@ type PeerStats struct {
 	// Hits counts forwards the peer answered from its store — the
 	// remote-cache-hit signal the CI smoke asserts on.
 	Hits int64 `json:"hits"`
-	// Errors counts forwards that failed every attempt and degraded to
-	// local compute (the cluster_forward_error signal).
+	// Errors counts forwards that degraded to local compute: failures on
+	// every attempt, plus "successful" forwards whose body was unusable
+	// (Suspect).
 	Errors int64 `json:"errors"`
+	// Breaker is the peer's circuit-breaker state: "closed", "open", or
+	// "half-open".
+	Breaker string `json:"breaker"`
+	// BreakerTrips counts transitions to open (including a failed
+	// half-open probe re-opening).
+	BreakerTrips int64 `json:"breaker_trips"`
+	// BreakerSkips counts forwards skipped because the breaker was open
+	// — degradations that cost a local compute but no network attempt.
+	BreakerSkips int64 `json:"breaker_skips"`
 }
 
 // Stats is a point-in-time snapshot of one node's cluster counters.
@@ -269,7 +357,11 @@ func (c *Cluster) Stats() Stats {
 	defer c.mu.Unlock()
 	ps := make([]PeerStats, 0, len(c.peers))
 	for peer, ctr := range c.peers {
-		ps = append(ps, PeerStats{Peer: peer, Forwards: ctr.forwards, Hits: ctr.hits, Errors: ctr.errors})
+		st := PeerStats{Peer: peer, Forwards: ctr.forwards, Hits: ctr.hits, Errors: ctr.errors, Breaker: BreakerClosed}
+		if br := c.breakers[peer]; br != nil {
+			st.Breaker, st.BreakerTrips, st.BreakerSkips = br.snapshot()
+		}
+		ps = append(ps, st)
 	}
 	sort.Slice(ps, func(i, j int) bool { return ps[i].Peer < ps[j].Peer })
 	return Stats{Self: c.ring.Self(), Members: c.ring.Members(), Replicated: c.replicated, Peers: ps}

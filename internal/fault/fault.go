@@ -1,0 +1,370 @@
+// Package fault is the deterministic failpoint registry: a seeded,
+// process-wide schedule of injected failures that the service layer
+// threads through its store, queue, cluster client, and HTTP handlers.
+//
+// The registry follows the repo's nil-guarded zero-overhead discipline
+// (the obs.Probe / Verify pattern): every injection site is one guarded
+// branch,
+//
+//	if f := fault.Active(); f != nil && f.Fire(fault.StoreGetCorrupt) { ... }
+//
+// so with injection disabled — the only state production ever runs in —
+// a site costs a single atomic pointer load and nil check: no map
+// lookups, no locks, no allocations (pinned by the alloc-budget tests).
+//
+// Determinism: every decision is a pure function of (schedule seed,
+// site, per-site call index). Each site keeps its own atomic call
+// counter, so the k-th evaluation of a site fires identically no matter
+// how goroutines interleave across sites — a chaos run is reproducible
+// from its seed alone. Sites never read the wall clock and never use
+// global math/rand (the package sits inside the determinism analyzer's
+// contract); injected latencies are returned as durations for the call
+// site to sleep on, outside the simulator.
+//
+// Schedule syntax (the -faults flag and TSNOOP_FAULTS env var):
+//
+//	seed=7;store.get.corrupt=times:2;cluster.forward.latency=every:5@10ms
+//
+// Semicolon-separated site=rule pairs, plus the special seed=N key.
+// Rules: "times:N" (the first N calls fire), "after:N" (every call past
+// the Nth fires), "every:N" (every Nth call fires), "1inN" (each call
+// fires with probability 1/N, decided by the seeded hash), and "off".
+// A rule may carry an "@duration" suffix naming the injected delay for
+// latency sites (e.g. "every:3@50ms"); delay-less latency rules fire
+// without waiting.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Site names one failpoint. Sites are compiled into their subsystems;
+// the registry only decides whether the k-th evaluation fires.
+type Site uint8
+
+const (
+	// StorePutFail makes Store.Put fail with an injected ENOSPC-style
+	// write error before anything reaches disk.
+	StorePutFail Site = iota
+	// StorePutTorn makes Store.Put commit a torn entry: only a prefix of
+	// the encoded bytes lands, yet the write "succeeds" — the crash-mid-
+	// write shape the store's checksums exist to catch.
+	StorePutTorn
+	// StoreGetCorrupt flips one deterministic bit in the bytes Store.Get
+	// reads back from disk, simulating media rot.
+	StoreGetCorrupt
+	// QueueSeedPanic makes a queue seed worker panic mid-simulation.
+	QueueSeedPanic
+	// QueueSeedSlow delays a queue seed worker before it simulates.
+	QueueSeedSlow
+	// ClusterDialRefuse fails a cluster forward attempt as if the peer
+	// refused the connection.
+	ClusterDialRefuse
+	// ClusterLatency delays a cluster forward attempt before it is sent.
+	ClusterLatency
+	// Cluster5xx fails a cluster forward attempt as if the peer answered
+	// 502.
+	Cluster5xx
+	// ClusterTruncate truncates a forwarded response body mid-document,
+	// so the entry node receives unparsable JSON from a "healthy" peer.
+	ClusterTruncate
+	// HTTPDelay delays an HTTP response before the handler runs.
+	HTTPDelay
+
+	numSites
+)
+
+// siteNames maps sites to their schedule-syntax names.
+var siteNames = [numSites]string{
+	StorePutFail:      "store.put.fail",
+	StorePutTorn:      "store.put.torn",
+	StoreGetCorrupt:   "store.get.corrupt",
+	QueueSeedPanic:    "queue.seed.panic",
+	QueueSeedSlow:     "queue.seed.slow",
+	ClusterDialRefuse: "cluster.forward.refuse",
+	ClusterLatency:    "cluster.forward.latency",
+	Cluster5xx:        "cluster.forward.5xx",
+	ClusterTruncate:   "cluster.forward.truncate",
+	HTTPDelay:         "http.delay",
+}
+
+// String returns the site's schedule-syntax name.
+func (s Site) String() string {
+	if int(s) < len(siteNames) {
+		return siteNames[s]
+	}
+	return fmt.Sprintf("site(%d)", uint8(s))
+}
+
+// Sites lists every registered failpoint name, sorted — the vocabulary
+// Parse accepts and the README documents.
+func Sites() []string {
+	out := make([]string, numSites)
+	for i := range siteNames {
+		out[i] = siteNames[i]
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rule modes.
+const (
+	modeOff   = iota
+	modeTimes // first N calls fire
+	modeAfter // calls past the Nth fire
+	modeEvery // every Nth call fires
+	modeOneIn // each call fires with probability 1/N via the seeded hash
+)
+
+// rule is one site's compiled schedule entry.
+type rule struct {
+	mode  int
+	n     int64
+	delay time.Duration
+}
+
+// Set is a compiled, enabled-or-not fault schedule. All methods are
+// safe for concurrent use; decisions are deterministic per (seed, site,
+// call index).
+type Set struct {
+	seed  uint64
+	rules [numSites]rule
+	calls [numSites]atomic.Int64
+	fired [numSites]atomic.Int64
+}
+
+// active is the process-wide installed schedule; nil means injection is
+// compiled in but disabled — the zero-overhead state.
+var active atomic.Pointer[Set]
+
+// Active returns the installed schedule, or nil when injection is
+// disabled. This is the one branch every site pays.
+func Active() *Set { return active.Load() }
+
+// Enable installs s as the process-wide schedule (nil disables).
+func Enable(s *Set) { active.Store(s) }
+
+// Disable removes any installed schedule.
+func Disable() { active.Store(nil) }
+
+// Parse compiles a schedule string (see the package comment for the
+// syntax). An empty string yields an error — callers gate on emptiness
+// before parsing.
+func Parse(spec string) (*Set, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("fault: empty schedule")
+	}
+	s := &Set{seed: 1}
+	seen := false
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: %q is not name=rule", part)
+		}
+		name, val = strings.TrimSpace(name), strings.TrimSpace(val)
+		if name == "seed" {
+			var seed uint64
+			if _, err := fmt.Sscanf(val, "%d", &seed); err != nil {
+				return nil, fmt.Errorf("fault: seed %q is not an integer", val)
+			}
+			s.seed = seed
+			continue
+		}
+		site, err := siteByName(name)
+		if err != nil {
+			return nil, err
+		}
+		r, err := parseRule(val)
+		if err != nil {
+			return nil, fmt.Errorf("fault: %s: %w", name, err)
+		}
+		s.rules[site] = r
+		seen = true
+	}
+	if !seen {
+		return nil, fmt.Errorf("fault: schedule %q names no sites", spec)
+	}
+	return s, nil
+}
+
+func siteByName(name string) (Site, error) {
+	for i, n := range siteNames {
+		if n == name {
+			return Site(i), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown site %q (known: %s)", name, strings.Join(Sites(), ", "))
+}
+
+func parseRule(val string) (rule, error) {
+	var r rule
+	if at := strings.Index(val, "@"); at >= 0 {
+		d, err := time.ParseDuration(val[at+1:])
+		if err != nil || d < 0 {
+			return rule{}, fmt.Errorf("bad delay %q", val[at+1:])
+		}
+		r.delay = d
+		val = val[:at]
+	}
+	switch {
+	case val == "off":
+		r.mode = modeOff
+	case strings.HasPrefix(val, "times:"):
+		r.mode = modeTimes
+		return ruleN(r, val[len("times:"):])
+	case strings.HasPrefix(val, "after:"):
+		r.mode = modeAfter
+		return ruleN(r, val[len("after:"):])
+	case strings.HasPrefix(val, "every:"):
+		r.mode = modeEvery
+		return ruleN(r, val[len("every:"):])
+	case strings.HasPrefix(val, "1in"):
+		r.mode = modeOneIn
+		return ruleN(r, val[len("1in"):])
+	default:
+		return rule{}, fmt.Errorf("bad rule %q (want times:N, after:N, every:N, 1inN, or off)", val)
+	}
+	return r, nil
+}
+
+func ruleN(r rule, s string) (rule, error) {
+	var n int64
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n < 1 {
+		return rule{}, fmt.Errorf("bad count %q (want an integer >= 1)", s)
+	}
+	r.n = n
+	return r, nil
+}
+
+// String renders the schedule canonically: the seed, then every armed
+// site in declaration order.
+func (s *Set) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", s.seed)
+	for i := range s.rules {
+		r := s.rules[i]
+		if r.mode == modeOff {
+			continue
+		}
+		b.WriteString(";")
+		b.WriteString(siteNames[i])
+		b.WriteString("=")
+		switch r.mode {
+		case modeTimes:
+			fmt.Fprintf(&b, "times:%d", r.n)
+		case modeAfter:
+			fmt.Fprintf(&b, "after:%d", r.n)
+		case modeEvery:
+			fmt.Fprintf(&b, "every:%d", r.n)
+		case modeOneIn:
+			fmt.Fprintf(&b, "1in%d", r.n)
+		}
+		if r.delay > 0 {
+			fmt.Fprintf(&b, "@%s", r.delay)
+		}
+	}
+	return b.String()
+}
+
+// mix64 is SplitMix64's output permutation: a statistically strong,
+// allocation-free hash of one word.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// decide is the pure decision function: does call k of site fire?
+func (s *Set) decide(site Site, k int64) bool {
+	r := &s.rules[site]
+	switch r.mode {
+	case modeTimes:
+		return k <= r.n
+	case modeAfter:
+		return k > r.n
+	case modeEvery:
+		return k%r.n == 0
+	case modeOneIn:
+		return mix64(s.seed^uint64(site)<<56^uint64(k))%uint64(r.n) == 0
+	}
+	return false
+}
+
+// Fire counts one evaluation of site and reports whether it fires.
+// Allocation-free; the decision depends only on the schedule seed and
+// this site's call index.
+func (s *Set) Fire(site Site) bool {
+	k := s.calls[site].Add(1)
+	if !s.decide(site, k) {
+		return false
+	}
+	s.fired[site].Add(1)
+	return true
+}
+
+// Delay counts one evaluation of a latency site and returns the
+// injected delay: the rule's @duration when the call fires, zero
+// otherwise. The caller sleeps outside the simulator.
+func (s *Set) Delay(site Site) time.Duration {
+	if !s.Fire(site) {
+		return 0
+	}
+	return s.rules[site].delay
+}
+
+// Corrupt counts one evaluation of a corruption site and, when it
+// fires and data is non-empty, flips one deterministically chosen bit
+// in place and reports true.
+func (s *Set) Corrupt(site Site, data []byte) bool {
+	k := s.calls[site].Add(1)
+	if !s.decide(site, k) || len(data) == 0 {
+		return false
+	}
+	s.fired[site].Add(1)
+	h := mix64(s.seed ^ uint64(site)<<48 ^ uint64(k)*0x100000001b3)
+	data[h%uint64(len(data))] ^= 1 << (h >> 61)
+	return true
+}
+
+// Truncate counts one evaluation of a truncation site and, when it
+// fires, returns a prefix of data (about half, never the whole) and
+// true. The returned slice aliases data.
+func (s *Set) Truncate(site Site, data []byte) ([]byte, bool) {
+	if !s.Fire(site) || len(data) == 0 {
+		return data, false
+	}
+	return data[:len(data)/2], true
+}
+
+// SiteStats is one site's evaluation counters.
+type SiteStats struct {
+	Site  string `json:"site"`
+	Calls int64  `json:"calls"`
+	Fired int64  `json:"fired"`
+}
+
+// Stats snapshots every armed site's counters, in declaration order.
+func (s *Set) Stats() []SiteStats {
+	out := make([]SiteStats, 0, numSites)
+	for i := range s.rules {
+		if s.rules[i].mode == modeOff {
+			continue
+		}
+		out = append(out, SiteStats{
+			Site:  siteNames[i],
+			Calls: s.calls[i].Load(),
+			Fired: s.fired[i].Load(),
+		})
+	}
+	return out
+}

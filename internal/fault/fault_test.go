@@ -1,0 +1,235 @@
+package fault
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseAndString(t *testing.T) {
+	s, err := Parse("seed=7; store.get.corrupt=times:2 ;queue.seed.panic=1in4;cluster.forward.latency=every:5@10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "seed=7;store.get.corrupt=times:2;queue.seed.panic=1in4;cluster.forward.latency=every:5@10ms"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"seed=7",                      // no sites armed
+		"store.get.corrupt",           // not name=rule
+		"no.such.site=times:1",        // unknown site
+		"store.get.corrupt=sometimes", // unknown mode
+		"store.get.corrupt=times:0",   // count < 1
+		"store.get.corrupt=times:x",   // not an integer
+		"queue.seed.slow=every:2@-5s", // negative delay
+		"seed=banana;http.delay=times:1",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRuleModes(t *testing.T) {
+	fires := func(rule string, calls int) []int {
+		t.Helper()
+		s, err := Parse("seed=3;queue.seed.panic=" + rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []int
+		for k := 1; k <= calls; k++ {
+			if s.Fire(QueueSeedPanic) {
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+	if got := fires("times:2", 6); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("times:2 fired at %v, want [1 2]", got)
+	}
+	if got := fires("after:4", 6); len(got) != 2 || got[0] != 5 || got[1] != 6 {
+		t.Errorf("after:4 fired at %v, want [5 6]", got)
+	}
+	if got := fires("every:3", 9); len(got) != 3 || got[0] != 3 || got[2] != 9 {
+		t.Errorf("every:3 fired at %v, want [3 6 9]", got)
+	}
+	if got := fires("off", 9); len(got) != 0 {
+		t.Errorf("off fired at %v", got)
+	}
+}
+
+// The 1inN decision is a pure function of (seed, site, call index):
+// two sets with the same seed produce identical fire sequences, and a
+// different seed produces a different one.
+func TestOneInIsSeedDeterministic(t *testing.T) {
+	seq := func(seed string) string {
+		t.Helper()
+		s, err := Parse("seed=" + seed + ";queue.seed.panic=1in3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for k := 0; k < 200; k++ {
+			if s.Fire(QueueSeedPanic) {
+				b.WriteString("1")
+			} else {
+				b.WriteString("0")
+			}
+		}
+		return b.String()
+	}
+	a, b, c := seq("42"), seq("42"), seq("43")
+	if a != b {
+		t.Error("same seed produced different fire sequences")
+	}
+	if a == c {
+		t.Error("different seeds produced identical fire sequences")
+	}
+	if n := strings.Count(a, "1"); n < 30 || n > 110 {
+		t.Errorf("1in3 fired %d/200 times, implausible for p=1/3", n)
+	}
+}
+
+// Per-site counters are independent: concurrent hammering of one site
+// never perturbs another site's schedule.
+func TestSitesIndependentUnderConcurrency(t *testing.T) {
+	s, err := Parse("seed=1;http.delay=1in2;store.put.fail=times:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Fire(HTTPDelay)
+			}
+		}()
+	}
+	wg.Wait()
+	var fired int
+	for k := 0; k < 10; k++ {
+		if s.Fire(StorePutFail) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Errorf("times:3 fired %d times after another site was hammered, want 3", fired)
+	}
+}
+
+func TestDelayAndCorruptAndTruncate(t *testing.T) {
+	s, err := Parse("seed=9;queue.seed.slow=times:1@25ms;store.get.corrupt=times:1;cluster.forward.truncate=times:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Delay(QueueSeedSlow); d != 25*time.Millisecond {
+		t.Errorf("first Delay = %v, want 25ms", d)
+	}
+	if d := s.Delay(QueueSeedSlow); d != 0 {
+		t.Errorf("second Delay = %v, want 0", d)
+	}
+
+	orig := []byte(`{"runtime_ps":42}`)
+	data := append([]byte(nil), orig...)
+	if !s.Corrupt(StoreGetCorrupt, data) {
+		t.Fatal("first Corrupt did not fire")
+	}
+	if string(data) == string(orig) {
+		t.Error("Corrupt fired but changed nothing")
+	}
+	diff := 0
+	for i := range data {
+		if data[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("Corrupt changed %d bytes, want exactly 1", diff)
+	}
+
+	body := []byte(strings.Repeat("x", 100))
+	got, fired := s.Truncate(ClusterTruncate, body)
+	if !fired || len(got) != 50 {
+		t.Errorf("Truncate = %d bytes, fired=%v; want 50, true", len(got), fired)
+	}
+	if got, fired := s.Truncate(ClusterTruncate, body); fired || len(got) != 100 {
+		t.Errorf("exhausted Truncate = %d bytes, fired=%v; want 100, false", len(got), fired)
+	}
+}
+
+func TestEnableDisableActive(t *testing.T) {
+	t.Cleanup(Disable)
+	if Active() != nil {
+		t.Fatal("fresh process has an active schedule")
+	}
+	s, err := Parse("seed=1;http.delay=times:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(s)
+	if Active() != s {
+		t.Fatal("Enable did not install the schedule")
+	}
+	Disable()
+	if Active() != nil {
+		t.Fatal("Disable left a schedule active")
+	}
+}
+
+func TestStatsCountCallsAndFires(t *testing.T) {
+	s, err := Parse("seed=1;store.put.fail=times:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Fire(StorePutFail)
+	}
+	st := s.Stats()
+	if len(st) != 1 || st[0].Site != "store.put.fail" || st[0].Calls != 5 || st[0].Fired != 2 {
+		t.Errorf("stats = %+v, want store.put.fail 5 calls / 2 fired", st)
+	}
+}
+
+// The disabled state — the only one production runs in — is one atomic
+// load and a nil check per site: zero allocations.
+func TestFaultDisabledZeroAllocs(t *testing.T) {
+	Disable()
+	var fired bool
+	if got := testing.AllocsPerRun(1000, func() {
+		if f := Active(); f != nil && f.Fire(StoreGetCorrupt) {
+			fired = true
+		}
+	}); got != 0 {
+		t.Errorf("disabled failpoint site: %v allocs/op, want 0", got)
+	}
+	_ = fired
+}
+
+// Enabled sites stay allocation-free too: decisions are pure integer
+// arithmetic on atomics.
+func TestFaultEnabledZeroAllocs(t *testing.T) {
+	t.Cleanup(Disable)
+	s, err := Parse("seed=1;store.get.corrupt=1in4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(s)
+	var fired bool
+	if got := testing.AllocsPerRun(1000, func() {
+		if f := Active(); f != nil && f.Fire(StoreGetCorrupt) {
+			fired = true
+		}
+	}); got != 0 {
+		t.Errorf("enabled failpoint site: %v allocs/op, want 0", got)
+	}
+	_ = fired
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tsnoop/internal/cluster"
+	"tsnoop/internal/fault"
 )
 
 // Service observability: a hand-rolled Prometheus text exposition on
@@ -106,6 +107,14 @@ func (w *observedWriter) Flush() {
 // carries.
 func (sv *Service) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The http.delay failpoint stalls the response before the handler
+		// runs — the slow-server shape client timeouts and slowloris
+		// hardening are tested against.
+		if f := fault.Active(); f != nil {
+			if d := f.Delay(fault.HTTPDelay); d > 0 {
+				time.Sleep(d)
+			}
+		}
 		start := time.Now()
 		// A forwarded request arrives with the entry node's trace ID;
 		// anything else gets a fresh one. The ID is echoed on the
@@ -154,6 +163,18 @@ func (sv *Service) nodeName() string {
 	return sv.cluster.Self()
 }
 
+// breakerStateValue encodes a breaker state name for the
+// tsnoop_cluster_breaker_state gauge.
+func breakerStateValue(state string) int {
+	switch state {
+	case cluster.BreakerOpen:
+		return 1
+	case cluster.BreakerHalfOpen:
+		return 2
+	}
+	return 0
+}
+
 // promFamily writes one metric family header.
 func promFamily(b *strings.Builder, name, help, typ string) {
 	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
@@ -183,6 +204,8 @@ func (sv *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "tsnoop_store_puts_total %d\n", ss.Puts)
 	promFamily(&b, "tsnoop_store_errors_total", "Failed store reads and writes.", "counter")
 	fmt.Fprintf(&b, "tsnoop_store_errors_total %d\n", ss.Errors)
+	promFamily(&b, "tsnoop_store_corrupt_total", "Entries that failed integrity verification and were quarantined.", "counter")
+	fmt.Fprintf(&b, "tsnoop_store_corrupt_total %d\n", ss.Corrupt)
 	promFamily(&b, "tsnoop_store_entries", "Results resident in the in-memory LRU.", "gauge")
 	fmt.Fprintf(&b, "tsnoop_store_entries %d\n", ss.Entries)
 
@@ -195,6 +218,8 @@ func (sv *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "tsnoop_queue_joined_total %d\n", qs.Joined)
 	promFamily(&b, "tsnoop_jobs_active", "Jobs currently queued or running.", "gauge")
 	fmt.Fprintf(&b, "tsnoop_jobs_active %d\n", qs.Queued+qs.Running)
+	promFamily(&b, "tsnoop_panics_recovered_total", "Seed-worker panics recovered into job errors or invisible retries.", "counter")
+	fmt.Fprintf(&b, "tsnoop_panics_recovered_total %d\n", qs.PanicsRecovered)
 
 	promFamily(&b, "tsnoop_job_phase_us", "Wall-clock microseconds spent per job phase, summed over retained jobs.", "gauge")
 	fmt.Fprintf(&b, "tsnoop_job_phase_us{phase=\"queue_wait\"} %d\n", spans.QueueWaitUS)
@@ -238,6 +263,18 @@ func (sv *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		promFamily(&b, "tsnoop_cluster_replicated_total", "Forwarded results replicated into the local LRU front.", "counter")
 		fmt.Fprintf(&b, "tsnoop_cluster_replicated_total %d\n", cs.Replicated)
+		promFamily(&b, "tsnoop_cluster_breaker_state", "Per-peer circuit-breaker state: 0 closed, 1 open, 2 half-open.", "gauge")
+		for _, p := range cs.Peers {
+			fmt.Fprintf(&b, "tsnoop_cluster_breaker_state{peer=%q} %d\n", p.Peer, breakerStateValue(p.Breaker))
+		}
+		promFamily(&b, "tsnoop_cluster_breaker_trips_total", "Per-peer breaker transitions to open.", "counter")
+		for _, p := range cs.Peers {
+			fmt.Fprintf(&b, "tsnoop_cluster_breaker_trips_total{peer=%q} %d\n", p.Peer, p.BreakerTrips)
+		}
+		promFamily(&b, "tsnoop_cluster_breaker_skips_total", "Forwards skipped because the peer's breaker was open.", "counter")
+		for _, p := range cs.Peers {
+			fmt.Fprintf(&b, "tsnoop_cluster_breaker_skips_total{peer=%q} %d\n", p.Peer, p.BreakerSkips)
+		}
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"tsnoop/internal/cluster"
 	"tsnoop/internal/spec"
 	"tsnoop/internal/stats"
 )
@@ -299,5 +300,42 @@ func TestStoreErrorsCounted(t *testing.T) {
 	}
 	if got := st.Stats().Errors; got != 2 {
 		t.Errorf("errors = %d, want 2", got)
+	}
+}
+
+// The hardening families exist (at zero) from the first scrape: the
+// corrupt and panic counters always, the per-peer breaker series on a
+// cluster member — pre-registered, never appearing mid-flight.
+func TestMetricsHardeningFamiliesPreRegistered(t *testing.T) {
+	_, srv := newTestServer(t, "", fastSim)
+	body := scrape(t, srv.URL)
+	if v := metricValue(t, body, "tsnoop_store_corrupt_total"); v != 0 {
+		t.Errorf("fresh corrupt counter = %d, want 0", v)
+	}
+	if v := metricValue(t, body, "tsnoop_panics_recovered_total"); v != 0 {
+		t.Errorf("fresh panic counter = %d, want 0", v)
+	}
+
+	self := "127.0.0.1:1"
+	peer := "127.0.0.1:2"
+	cl, err := cluster.New(cluster.Config{Self: self, Members: []string{self, peer}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := New(Config{Workers: 1, Sim: fastSim, Cluster: cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csrv := httptest.NewServer(NewHandler(sv))
+	defer csrv.Close()
+	body = scrape(t, csrv.URL)
+	for _, want := range []string{
+		`tsnoop_cluster_breaker_state{peer="127.0.0.1:2"} 0`,
+		`tsnoop_cluster_breaker_trips_total{peer="127.0.0.1:2"} 0`,
+		`tsnoop_cluster_breaker_skips_total{peer="127.0.0.1:2"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("breaker series %q missing from first scrape:\n%s", want, body)
+		}
 	}
 }

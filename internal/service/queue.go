@@ -3,11 +3,15 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"tsnoop/internal/fault"
 	"tsnoop/internal/parallel"
 	"tsnoop/internal/spec"
 	"tsnoop/internal/stats"
@@ -174,6 +178,11 @@ type Queue struct {
 	// inflight counts started flights; Drain waits on it so shutdown
 	// never kills a simulation whose submitter already disconnected.
 	inflight sync.WaitGroup
+
+	// panics counts recovered seed-worker panics (each recovery, so a
+	// retried-then-persisted panic counts twice) — the
+	// tsnoop_panics_recovered_total signal.
+	panics atomic.Int64
 
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -376,7 +385,7 @@ func (q *Queue) runSeeds(ctx context.Context, s spec.Spec, j *job) (*stats.Run, 
 		one.Seed += uint64(i)
 		one.Seeds = 1
 		one.Workers = 1
-		r, err := q.sim(ctx, one)
+		r, err := q.simSafe(ctx, one)
 		if err == nil {
 			j.seedDone()
 		}
@@ -388,6 +397,64 @@ func (q *Queue) runSeeds(ctx context.Context, s spec.Spec, j *job) (*stats.Run, 
 		runs = append(runs, run)
 	}
 	return stats.Best(runs), nil
+}
+
+// PanicError is a seed-worker panic recovered into a job error: the
+// panic value plus the goroutine stack captured at recovery, so a
+// poisoned spec is diagnosable from the job record instead of from a
+// crashed process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("simulation panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// simSafe runs one seed's simulation with panic isolation. A panic is
+// recovered into a *PanicError — one poisoned spec fails one job, never
+// the process — and the seed is retried once: transient poison (a
+// corrupted input that recomputes clean, an injected fault) recovers
+// invisibly, while a deterministic panic fails the job with the
+// captured stack.
+func (q *Queue) simSafe(ctx context.Context, s spec.Spec) (*stats.Run, error) {
+	r, err := q.simOnce(ctx, s)
+	var pe *PanicError
+	if errors.As(err, &pe) && ctx.Err() == nil {
+		r, err = q.simOnce(ctx, s)
+		if errors.As(err, &pe) {
+			err = fmt.Errorf("service: seed panic persisted after retry: %w", pe)
+		}
+	}
+	return r, err
+}
+
+// simOnce executes exactly one simulation, converting a panic into an
+// error and applying the queue's failpoints (injected worker panics
+// and slow seeds).
+func (q *Queue) simOnce(ctx context.Context, s spec.Spec) (r *stats.Run, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			q.panics.Add(1)
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if f := fault.Active(); f != nil {
+		if d := f.Delay(fault.QueueSeedSlow); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+		}
+		if f.Fire(fault.QueueSeedPanic) {
+			panic("fault: injected seed panic")
+		}
+	}
+	return q.sim(ctx, s)
 }
 
 // Job returns the status snapshot of one job.
@@ -436,6 +503,9 @@ type QueueStats struct {
 	Done    int `json:"done"`
 	Failed  int `json:"failed"`
 	Joined  int `json:"joined"` // requests answered by joining an in-flight job
+	// PanicsRecovered counts seed-worker panics recovered into job
+	// errors (or invisible retries) instead of process deaths.
+	PanicsRecovered int64 `json:"panics_recovered"`
 }
 
 // Stats snapshots the queue's counters.
@@ -454,6 +524,7 @@ func (q *Queue) Stats() QueueStats {
 		}
 		qs.Joined += j.Waiters
 	}
+	qs.PanicsRecovered = q.panics.Load()
 	return qs
 }
 

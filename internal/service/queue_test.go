@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"tsnoop/internal/fault"
 	"tsnoop/internal/sim"
 	"tsnoop/internal/spec"
 	"tsnoop/internal/stats"
@@ -361,5 +363,129 @@ func TestQueueJobsSortedByID(t *testing.T) {
 		if want := fmt.Sprintf("job-%06d", i+1); j.ID != want {
 			t.Fatalf("jobs[%d].ID = %s, want %s", i, j.ID, want)
 		}
+	}
+}
+
+// A transient panic — poison that clears on recompute — is retried once
+// and recovers invisibly: the job succeeds and only the counter records
+// that anything happened.
+func TestQueuePanicIsolatedAndRetried(t *testing.T) {
+	var calls atomic.Int64
+	sim := func(ctx context.Context, s spec.Spec) (*stats.Run, error) {
+		if calls.Add(1) == 1 {
+			panic("transient poison")
+		}
+		return &stats.Run{Runtime: 55}, nil
+	}
+	store, _ := OpenStore("", 0)
+	q := NewQueue(store, 2, 0, sim, nil)
+	res, err := q.Do(context.Background(), testSpec(1))
+	if err != nil {
+		t.Fatalf("Do after a transient panic: %v", err)
+	}
+	if int64(res.Run.Runtime) != 55 {
+		t.Fatalf("retried run = %+v", res.Run)
+	}
+	job, ok := q.Job(res.JobID)
+	if !ok || job.State != JobDone {
+		t.Fatalf("job = %+v, want done", job)
+	}
+	if got := q.Stats().PanicsRecovered; got != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", got)
+	}
+}
+
+// A deterministic panic fails its one job — with the panic value and
+// stack on the error — and leaves the queue alive for other specs.
+func TestQueuePersistentPanicFailsOneJob(t *testing.T) {
+	sim := func(ctx context.Context, s spec.Spec) (*stats.Run, error) {
+		if s.Seed == 3 {
+			panic("poisoned spec")
+		}
+		return &stats.Run{Runtime: 66}, nil
+	}
+	store, _ := OpenStore("", 0)
+	q := NewQueue(store, 1, 0, sim, nil)
+
+	res, err := q.Do(context.Background(), testSpec(3))
+	if err == nil {
+		t.Fatalf("poisoned spec succeeded: %+v", res)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is not a PanicError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "poisoned spec") || !strings.Contains(err.Error(), "simOnce") {
+		t.Fatalf("error lacks the panic value or stack: %v", err)
+	}
+	jobs := q.Jobs()
+	if len(jobs) != 1 || jobs[0].State != JobFailed || !strings.Contains(jobs[0].Error, "panicked") {
+		t.Fatalf("job history = %+v, want one failed job recording the panic", jobs)
+	}
+	// Initial attempt + retry both recovered.
+	if got := q.Stats().PanicsRecovered; got != 2 {
+		t.Fatalf("PanicsRecovered = %d, want 2 (attempt + retry)", got)
+	}
+	// The process — and the queue — survive: a healthy spec still runs.
+	res, err = q.Do(context.Background(), testSpec(4))
+	if err != nil || int64(res.Run.Runtime) != 66 {
+		t.Fatalf("healthy spec after a panic = %+v, %v", res, err)
+	}
+}
+
+// The queue.seed.panic failpoint drives the same recovery machinery: an
+// injected one-shot panic retries invisibly and the job's bytes match an
+// uninjected run.
+func TestQueueInjectedSeedPanicFault(t *testing.T) {
+	t.Cleanup(fault.Disable)
+	sim := func(ctx context.Context, s spec.Spec) (*stats.Run, error) {
+		return &stats.Run{Runtime: 77, MemOps: int64(s.Seed)}, nil
+	}
+	clean, _ := OpenStore("", 0)
+	ref, err := NewQueue(clean, 2, 0, sim, nil).Do(context.Background(), testSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs, err := fault.Parse("seed=1;queue.seed.panic=times:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable(fs)
+	store, _ := OpenStore("", 0)
+	q := NewQueue(store, 2, 0, sim, nil)
+	res, err := q.Do(context.Background(), testSpec(8))
+	if err != nil {
+		t.Fatalf("Do under an injected panic: %v", err)
+	}
+	if !bytes.Equal(res.Data, ref.Data) {
+		t.Fatalf("injected-panic bytes %q differ from clean bytes %q", res.Data, ref.Data)
+	}
+	if got := q.Stats().PanicsRecovered; got != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", got)
+	}
+}
+
+// The queue.seed.slow failpoint delays a seed without changing its
+// result bytes.
+func TestQueueInjectedSlowSeedFault(t *testing.T) {
+	t.Cleanup(fault.Disable)
+	fs, err := fault.Parse("seed=1;queue.seed.slow=times:1@30ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable(fs)
+	sim := func(ctx context.Context, s spec.Spec) (*stats.Run, error) {
+		return &stats.Run{Runtime: 88}, nil
+	}
+	store, _ := OpenStore("", 0)
+	q := NewQueue(store, 1, 0, sim, nil)
+	start := time.Now()
+	res, err := q.Do(context.Background(), testSpec(2))
+	if err != nil || int64(res.Run.Runtime) != 88 {
+		t.Fatalf("Do under injected latency = %+v, %v", res, err)
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("injected seed delay did not slow the job")
 	}
 }

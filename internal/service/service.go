@@ -25,12 +25,23 @@
 // unreachable owner degrades to local compute — the stream never fails
 // and never changes a byte.
 //
+// The same bar holds under faults (internal/fault injects them
+// deterministically): store entries carry a per-entry checksum and a
+// corrupt or truncated file is quarantined and recomputed, a panicking
+// simulation is recovered into its one job's error and retried once,
+// and a repeatedly failing peer trips a per-peer circuit breaker that
+// routes around it until a cooldown probe heals. Every degradation
+// costs recomputation, never a changed client byte — the chaos test in
+// chaos_test.go holds a 3-node cluster under a seeded fault schedule
+// to the single-node reference bytes.
+//
 // cmd/tsnoop wires this up as the serve and submit subcommands, and the
 // run/grid/sweep subcommands hit the same store locally via -cache.
 package service
 
 import (
 	"context"
+	"errors"
 	"iter"
 	"log/slog"
 	"sync"
@@ -184,16 +195,25 @@ func (sv *Service) do(ctx context.Context, s spec.Spec, local bool) (Result, err
 		if ctx.Err() != nil {
 			return Result{}, ctx.Err()
 		}
+		if errors.Is(err, cluster.ErrBreakerOpen) {
+			// The owner's breaker is open: skip straight to local compute
+			// without having paid the dial/retry tax. A skip is counted on
+			// the breaker, not as a forward error.
+			at.span("forward", fwdStart, "breaker open, computing locally")
+			return sv.queue.Do(ctx, s)
+		}
 		// Owner unreachable: a dead peer costs a local simulation,
 		// never a failed stream. The forward error is already on the
-		// cluster counters (cluster_forward_error).
+		// cluster counters (cluster_forward_error) and the breaker.
 		at.span("forward", fwdStart, "error, degrading to local: "+err.Error())
 		return sv.queue.Do(ctx, s)
 	}
 	run, derr := decodeRun(fwd.Data)
 	if derr != nil {
-		// A peer that answers garbage is indistinguishable from a dead
-		// one: count nothing extra, just compute locally.
+		// A peer that answers garbage degrades exactly like a dead one —
+		// and Suspect feeds the breaker, so a peer that keeps doing it
+		// trips open despite its "successful" HTTP exchanges.
+		sv.cluster.Suspect(owner)
 		at.span("forward", fwdStart, "unreadable answer, degrading to local")
 		return sv.queue.Do(ctx, s)
 	}

@@ -1,14 +1,21 @@
 package service
 
 import (
+	"bytes"
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
+
+	"tsnoop/internal/fault"
 )
 
 // DefaultLRU is the in-memory result cache capacity, in entries, when
@@ -21,14 +28,36 @@ const DefaultLRU = 4096
 // produced by spec.Canonical.
 const keyLen = 64
 
+// entryMagic opens every on-disk entry's integrity header. The full
+// header is one line:
+//
+//	TSSTORE1 <sha256-hex of payload> <payload length>\n
+//
+// followed by the payload bytes (the stats.Run JSON). Get verifies both
+// fields before serving; an entry that fails — torn write, bit rot,
+// truncation, or a checksum-less legacy file — is quarantined and
+// treated as a miss, so the queue recomputes instead of serving
+// garbage.
+const entryMagic = "TSSTORE1"
+
+// quarantineDir is the subdirectory corrupt entries are renamed into,
+// preserved for post-mortem instead of deleted.
+const quarantineDir = "quarantine"
+
 // Store is the content-addressed result store: it maps a spec's
 // canonical hash to the stats.Run JSON its simulation produced. Reads
 // hit an in-memory LRU first and fall back to the disk layout — one
 // file per result, sharded by the key's first byte
 // (dir/ab/cdef...json) so no directory grows past a few thousand
-// entries at scale. Writes go to a temp file in the shard directory and
-// are published by atomic rename, so concurrent readers (and other
-// processes sharing the directory) never observe a partial result.
+// entries at scale. Writes go to a temp file in the shard directory,
+// are fsynced (file, then shard directory after the rename) and
+// published by atomic rename, so neither concurrent readers nor a
+// crash mid-write can observe a partial result.
+//
+// Every disk entry carries an integrity header (see entryMagic); a
+// corrupt or truncated entry is renamed into dir/quarantine, counted,
+// and answered as a miss — corruption costs a recomputation, never a
+// wrong answer.
 //
 // A Store with an empty directory is memory-only: the LRU still serves
 // repeats within the process, nothing persists.
@@ -43,7 +72,7 @@ type Store struct {
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
 
-	hits, misses, puts, errs int64
+	hits, misses, puts, errs, corrupt int64
 }
 
 // storeEntry is one LRU slot.
@@ -61,6 +90,10 @@ type StoreStats struct {
 	// Errors counts failed Get reads and Put writes (malformed keys,
 	// disk trouble) — the signal a /metrics scrape alerts on.
 	Errors int64 `json:"errors"`
+	// Corrupt counts disk entries that failed integrity verification
+	// and were quarantined — each one was answered as a miss and
+	// recomputed, never served.
+	Corrupt int64 `json:"corrupt"`
 }
 
 // OpenStore opens (creating if needed) a result store rooted at dir. An
@@ -103,6 +136,51 @@ func (st *Store) path(key string) string {
 	return filepath.Join(st.dir, key[:2], key[2:]+".json")
 }
 
+// encodeEntry renders a payload in the on-disk entry format.
+func encodeEntry(data []byte) []byte {
+	sum := sha256.Sum256(data)
+	out := make([]byte, 0, len(entryMagic)+1+hex.EncodedLen(len(sum))+1+20+1+len(data))
+	out = append(out, entryMagic...)
+	out = append(out, ' ')
+	out = hex.AppendEncode(out, sum[:])
+	out = append(out, ' ')
+	out = strconv.AppendInt(out, int64(len(data)), 10)
+	out = append(out, '\n')
+	return append(out, data...)
+}
+
+// decodeEntry verifies an on-disk entry and returns its payload. Any
+// failure — missing or malformed header, length mismatch (torn or
+// short write), checksum mismatch (bit rot) — is corruption; the error
+// says which.
+func decodeEntry(raw []byte) ([]byte, error) {
+	rest, ok := bytes.CutPrefix(raw, []byte(entryMagic+" "))
+	if !ok {
+		return nil, errors.New("no integrity header (legacy or foreign entry)")
+	}
+	nl := bytes.IndexByte(rest, '\n')
+	if nl < 0 {
+		return nil, errors.New("truncated integrity header")
+	}
+	fields := strings.Fields(string(rest[:nl]))
+	if len(fields) != 2 {
+		return nil, errors.New("malformed integrity header")
+	}
+	wantLen, err := strconv.Atoi(fields[1])
+	if err != nil || wantLen < 0 {
+		return nil, errors.New("malformed entry length")
+	}
+	payload := rest[nl+1:]
+	if len(payload) != wantLen {
+		return nil, fmt.Errorf("payload is %d bytes, header says %d (torn or truncated write)", len(payload), wantLen)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != fields[0] {
+		return nil, errors.New("checksum mismatch (corrupt payload)")
+	}
+	return payload, nil
+}
+
 // remember inserts (or refreshes) a key in the LRU, evicting the least
 // recently used entry past capacity.
 func (st *Store) remember(key string, data []byte) {
@@ -126,9 +204,24 @@ func (st *Store) addErr() {
 	st.mu.Unlock()
 }
 
+// quarantine moves a corrupt entry aside (dir/quarantine/<key>.json)
+// so it never answers again but survives for post-mortem. A failed
+// rename falls back to removal — a corrupt entry must not keep
+// answering reads either way.
+func (st *Store) quarantine(key string) {
+	qdir := filepath.Join(st.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(st.path(key), filepath.Join(qdir, key+".json")) == nil {
+			return
+		}
+	}
+	os.Remove(st.path(key))
+}
+
 // Get returns the stored result for a key. The boolean reports whether
 // the key was present; an error means the key was malformed or the disk
-// read failed (absence is not an error).
+// read failed (absence — including a quarantined corrupt entry — is
+// not an error).
 func (st *Store) Get(key string) ([]byte, bool, error) {
 	if err := checkKey(key); err != nil {
 		st.addErr()
@@ -149,27 +242,61 @@ func (st *Store) Get(key string) ([]byte, bool, error) {
 		st.mu.Unlock()
 		return nil, false, nil
 	}
-	data, err := os.ReadFile(st.path(key))
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	raw, err := os.ReadFile(st.path(key))
 	// ENOTDIR means a shard path component is not a directory — the
 	// entry does not exist there any more than with ENOENT.
 	if errors.Is(err, fs.ErrNotExist) || errors.Is(err, syscall.ENOTDIR) {
+		st.mu.Lock()
 		st.misses++
+		st.mu.Unlock()
 		return nil, false, nil
 	}
 	if err != nil {
-		st.errs++
+		st.addErr()
 		return nil, false, fmt.Errorf("service: store: %w", err)
 	}
+	if f := fault.Active(); f != nil {
+		f.Corrupt(fault.StoreGetCorrupt, raw)
+	}
+	payload, derr := decodeEntry(raw)
+	if derr != nil {
+		// Corruption is a miss, never an answer: quarantine the entry,
+		// count it, and let the queue recompute.
+		st.quarantine(key)
+		st.mu.Lock()
+		st.corrupt++
+		st.misses++
+		st.mu.Unlock()
+		return nil, false, nil
+	}
+	st.mu.Lock()
 	st.hits++
-	st.remember(key, data)
-	return data, true, nil
+	st.remember(key, payload)
+	st.mu.Unlock()
+	return payload, true, nil
 }
 
-// Put stores a result under its key, atomically: the bytes land in a
-// temp file in the shard directory and are published by rename, so a
-// concurrent Get sees either nothing or the complete document.
+// syncDir fsyncs a directory, making a just-renamed entry durable: the
+// rename itself lives in the directory, so a crash after Put returns
+// must not forget (or zero) the entry.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
+// Put stores a result under its key, atomically and durably: the entry
+// (integrity header + payload) lands in a temp file in the shard
+// directory, is fsynced, published by rename, and the shard directory
+// is fsynced after the rename — so a concurrent Get sees either
+// nothing or the complete document, and a crash can never commit a
+// zero-length or torn entry as truth.
 func (st *Store) Put(key string, data []byte) error {
 	if err := checkKey(key); err != nil {
 		st.addErr()
@@ -182,6 +309,16 @@ func (st *Store) Put(key string, data []byte) error {
 	if st.dir == "" {
 		return nil
 	}
+	if f := fault.Active(); f != nil && f.Fire(fault.StorePutFail) {
+		st.addErr()
+		return fmt.Errorf("service: store: injected write failure: %w", syscall.ENOSPC)
+	}
+	enc := encodeEntry(data)
+	if f := fault.Active(); f != nil {
+		// A torn write commits a prefix of the entry yet "succeeds" —
+		// the crash shape the integrity header exists to catch on read.
+		enc, _ = f.Truncate(fault.StorePutTorn, enc)
+	}
 	shard := filepath.Join(st.dir, key[:2])
 	if err := os.MkdirAll(shard, 0o755); err != nil {
 		st.addErr()
@@ -192,7 +329,7 @@ func (st *Store) Put(key string, data []byte) error {
 		st.addErr()
 		return fmt.Errorf("service: store: %w", err)
 	}
-	if _, err := tmp.Write(data); err == nil {
+	if _, err := tmp.Write(enc); err == nil {
 		err = tmp.Sync()
 	}
 	if cerr := tmp.Close(); err == nil {
@@ -205,6 +342,10 @@ func (st *Store) Put(key string, data []byte) error {
 	}
 	if err := os.Rename(tmp.Name(), st.path(key)); err != nil {
 		os.Remove(tmp.Name())
+		st.addErr()
+		return fmt.Errorf("service: store: %w", err)
+	}
+	if err := syncDir(shard); err != nil {
 		st.addErr()
 		return fmt.Errorf("service: store: %w", err)
 	}
@@ -229,5 +370,6 @@ func (st *Store) Remember(key string, data []byte) {
 func (st *Store) Stats() StoreStats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return StoreStats{Entries: st.order.Len(), Hits: st.hits, Misses: st.misses, Puts: st.puts, Errors: st.errs}
+	return StoreStats{Entries: st.order.Len(), Hits: st.hits, Misses: st.misses,
+		Puts: st.puts, Errors: st.errs, Corrupt: st.corrupt}
 }

@@ -36,14 +36,19 @@ func TestStoreRoundTripDisk(t *testing.T) {
 		t.Fatalf("Get = %q, %v, %v", got, ok, err)
 	}
 
-	// The layout is sharded by key prefix and holds the exact bytes.
+	// The layout is sharded by key prefix; the entry is the payload
+	// behind one integrity-header line.
 	path := filepath.Join(dir, key[:2], key[2:]+".json")
-	data, err := os.ReadFile(path)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("sharded file missing: %v", err)
 	}
-	if string(data) != string(want) {
-		t.Fatalf("on-disk bytes = %q, want %q", data, want)
+	if !strings.HasPrefix(string(raw), entryMagic+" ") {
+		t.Fatalf("on-disk entry lacks the %s header: %q", entryMagic, raw)
+	}
+	payload, err := decodeEntry(raw)
+	if err != nil || string(payload) != string(want) {
+		t.Fatalf("decodeEntry = %q, %v, want %q", payload, err, want)
 	}
 	// No temp files are left behind by the atomic write.
 	matches, _ := filepath.Glob(filepath.Join(dir, "*", ".put-*"))
@@ -135,5 +140,119 @@ func TestStoreStatsCount(t *testing.T) {
 	s := st.Stats()
 	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 || s.Entries != 1 {
 		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 put / 1 entry", s)
+	}
+}
+
+// corruptCase plants one kind of bad entry on disk and asserts the
+// recovery contract: the read is a miss (not an error), the entry is
+// quarantined aside, and the corrupt counter moves — after which a
+// fresh Put round-trips cleanly (the recompute path).
+func corruptCase(t *testing.T, name string, mangle func(t *testing.T, path string)) {
+	t.Run(name, func(t *testing.T) {
+		dir := t.TempDir()
+		st, err := OpenStore(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := testKey(t, 1)
+		want := []byte(`{"runtime_ps":42}`)
+		if err := st.Put(key, want); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, key[:2], key[2:]+".json")
+		mangle(t, path)
+
+		// A fresh store (cold LRU) must read the mangled file, refuse
+		// it, and answer a miss — never garbage, never an error.
+		st2, err := OpenStore(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, ok, err := st2.Get(key)
+		if err != nil || ok || data != nil {
+			t.Fatalf("corrupt Get = %q, %v, %v; want miss", data, ok, err)
+		}
+		s := st2.Stats()
+		if s.Corrupt != 1 || s.Misses != 1 || s.Errors != 0 {
+			t.Fatalf("stats after corrupt read = %+v, want 1 corrupt / 1 miss / 0 errors", s)
+		}
+		// The entry moved into quarantine; the shard no longer has it.
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("corrupt entry still in shard: %v", err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, quarantineDir, key+".json")); err != nil {
+			t.Fatalf("quarantined copy missing: %v", err)
+		}
+		// Recompute: a fresh Put publishes a clean entry that reads back.
+		if err := st2.Put(key, want); err != nil {
+			t.Fatal(err)
+		}
+		st3, err := OpenStore(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, ok, err := st3.Get(key); err != nil || !ok || string(got) != string(want) {
+			t.Fatalf("recomputed Get = %q, %v, %v", got, ok, err)
+		}
+	})
+}
+
+func TestStoreQuarantinesCorruptEntries(t *testing.T) {
+	corruptCase(t, "truncated", func(t *testing.T, path string) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	corruptCase(t, "bit-flipped payload", func(t *testing.T, path string) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)-3] ^= 0x10
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	corruptCase(t, "checksum-missing legacy entry", func(t *testing.T, path string) {
+		// A pre-integrity store wrote the bare payload; it is
+		// untrusted now and recomputed rather than served.
+		if err := os.WriteFile(path, []byte(`{"runtime_ps":42}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	corruptCase(t, "zero-length entry", func(t *testing.T, path string) {
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// The resident LRU shields a corrupt disk entry until eviction or
+// restart; this pins that Get prefers memory (no false quarantine of a
+// key the process just wrote).
+func TestStoreLRUShieldsDiskCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, 1)
+	want := []byte(`{"runtime_ps":42}`)
+	if err := st.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key[:2], key[2:]+".json"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(key)
+	if err != nil || !ok || string(got) != string(want) {
+		t.Fatalf("resident Get = %q, %v, %v", got, ok, err)
+	}
+	if st.Stats().Corrupt != 0 {
+		t.Fatal("resident read counted corruption")
 	}
 }
